@@ -1,0 +1,137 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bioschedsim/internal/sched"
+)
+
+func TestDefaultScale(t *testing.T) {
+	cases := map[string]float64{
+		"fig4a": 0.002, "fig4b": 0.002, "fig5a": 0.002, "fig5b": 0.002,
+		"fig6a": 0.1, "fig6d": 0.1, "abl-aco-iters": 0.1,
+	}
+	for id, want := range cases {
+		if got := defaultScale(id); got != want {
+			t.Errorf("defaultScale(%s): got %v want %v", id, got, want)
+		}
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	scheduler, err := sched.New("base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runScenario(scheduler, "heterogeneous", 8, 40, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cloudlets != 40 || rep.VMs != 8 || rep.SimTime <= 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+	rep, err = runScenario(scheduler, "homogeneous", 4, 20, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cloudlets != 20 {
+		t.Fatalf("homogeneous report: %+v", rep)
+	}
+	if _, err := runScenario(scheduler, "bogus", 4, 20, 1, 5); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+}
+
+func TestCmdParamsTopics(t *testing.T) {
+	for _, topic := range []string{"aco", "hbo", "rbs", "homogeneous", "heterogeneous"} {
+		if err := cmdParams([]string{topic}); err != nil {
+			t.Errorf("params %s: %v", topic, err)
+		}
+	}
+	if err := cmdParams([]string{"bogus"}); err == nil {
+		t.Error("bogus topic accepted")
+	}
+	if err := cmdParams(nil); err == nil {
+		t.Error("missing topic accepted")
+	}
+}
+
+func TestCmdFigureErrors(t *testing.T) {
+	if err := cmdFigure([]string{}); err == nil {
+		t.Error("missing id accepted")
+	}
+	if err := cmdFigure([]string{"not-an-experiment"}); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if err := cmdFigure([]string{"fig6a", "extra"}); err == nil {
+		t.Error("two positional args accepted")
+	}
+}
+
+func TestCmdRunUnknownScheduler(t *testing.T) {
+	if err := cmdRun([]string{"-algs", "nope", "-vms", "2", "-cloudlets", "4"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if !strings.Contains(sched.Names()[0], "") {
+		t.Skip()
+	}
+}
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlinePolicyNames(t *testing.T) {
+	for _, name := range []string{"online-rr", "online-least", "online-eft", "online-aco", "online-hbo", "online-rbs", "online-2choice"} {
+		p, err := onlinePolicy(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy name mismatch: %s vs %s", p.Name(), name)
+		}
+	}
+	if _, err := onlinePolicy("bogus", 1); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}
+
+func TestCmdReplayErrors(t *testing.T) {
+	if err := cmdReplay([]string{}); err == nil {
+		t.Fatal("missing -trace accepted")
+	}
+	if err := cmdReplay([]string{"-trace", "/nonexistent/file.csv"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGenTraceAndReplayRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/trace.csv"
+	if err := cmdGenTrace([]string{"-n", "40", "-rate", "8", "-out", path, "-deadline-slack", "4", "-vms", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdReplay([]string{"-trace", path, "-policy", "online-least", "-vms", "10", "-dcs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCompareErrors(t *testing.T) {
+	if err := cmdCompare([]string{}); err == nil {
+		t.Fatal("missing id accepted")
+	}
+	if err := cmdCompare([]string{"not-an-experiment"}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestCmdValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("validate runs a 30k-cloudlet queueing check")
+	}
+	if err := cmdValidate(); err != nil {
+		t.Fatal(err)
+	}
+}

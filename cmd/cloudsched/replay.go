@@ -1,0 +1,133 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/online"
+	"bioschedsim/internal/workload"
+)
+
+// onlinePolicy builds a per-arrival policy by name.
+func onlinePolicy(name string, seed int64) (online.Scheduler, error) {
+	rnd := rand.New(rand.NewSource(seed))
+	switch name {
+	case "online-rr":
+		return online.NewRoundRobin(), nil
+	case "online-least":
+		return online.NewLeastLoaded(), nil
+	case "online-eft":
+		return online.NewEarliestFinish(), nil
+	case "online-aco":
+		return online.NewACO(rnd), nil
+	case "online-hbo":
+		return online.NewHBO(rnd), nil
+	case "online-rbs":
+		return online.NewRBS(rnd), nil
+	case "online-2choice":
+		return online.NewTwoChoices(rnd), nil
+	default:
+		return nil, fmt.Errorf("unknown online policy %q (have online-rr, online-least, online-eft, online-aco, online-hbo, online-rbs, online-2choice)", name)
+	}
+}
+
+// cmdReplay replays a workload trace file through an online policy.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "workload trace CSV (see 'cloudsched gentrace')")
+	policyName := fs.String("policy", "online-eft", "per-arrival scheduling policy")
+	vms := fs.Int("vms", 50, "fleet size")
+	dcs := fs.Int("dcs", 4, "datacenters")
+	seed := fs.Uint64("seed", 42, "root random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return fmt.Errorf("replay: -trace is required")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	entries, err := workload.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	cls, arrivals := workload.Split(entries)
+
+	fleet := workload.GenerateVMs(workload.HeterogeneousVMSpec(), *vms, *seed)
+	env, err := workload.GenerateEnvironment(workload.HeterogeneousDatacenterSpec(*dcs), fleet, *seed)
+	if err != nil {
+		return err
+	}
+	policy, err := onlinePolicy(*policyName, int64(*seed))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := online.Run(env, policy, cls, arrivals, cloud.TimeSharedFactory)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# replay %s: %d cloudlets on %d VMs with %s (%.2fs wall)\n",
+		*tracePath, len(cls), *vms, *policyName, time.Since(start).Seconds())
+	fmt.Printf("mean response   %10.3f s\n", res.MeanResponse)
+	fmt.Printf("mean wait       %10.3f s\n", res.MeanWait)
+	fmt.Printf("simulation time %10.3f s (Eq. 12)\n", res.SimTime)
+	fmt.Printf("imbalance       %10.3f   (Eq. 13)\n", res.Imbalance)
+	fmt.Printf("processing cost %10.2f\n", res.Cost)
+	fmt.Printf("SLA compliance  %10.3f\n", metrics.SLAComplianceRate(res.Finished))
+	return nil
+}
+
+// cmdGenTrace writes a synthetic trace file.
+func cmdGenTrace(args []string) error {
+	fs := flag.NewFlagSet("gentrace", flag.ExitOnError)
+	n := fs.Int("n", 1000, "cloudlet count")
+	rate := fs.Float64("rate", 4, "Poisson arrival rate (cloudlets/second)")
+	out := fs.String("out", "", "output path (default stdout)")
+	seed := fs.Uint64("seed", 42, "root random seed")
+	slack := fs.Float64("deadline-slack", 0, "assign deadlines at this slack (0 = none)")
+	vms := fs.Int("vms", 50, "fleet size used to derive deadlines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	entries, err := workload.SyntheticTrace(workload.HeterogeneousCloudletSpec(), *n, *rate, *seed)
+	if err != nil {
+		return err
+	}
+	if *slack > 0 {
+		fleet := workload.GenerateVMs(workload.HeterogeneousVMSpec(), *vms, *seed)
+		cls, _ := workload.Split(entries)
+		if err := workload.AssignDeadlines(cls, fleet, *slack); err != nil {
+			return err
+		}
+		// Deadlines are relative to batch start; offset by each arrival so
+		// late arrivals keep their slack.
+		for i := range entries {
+			entries[i].Cloudlet.Deadline += entries[i].Arrival
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := workload.WriteTrace(w, entries); err != nil {
+		return err
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", len(entries), *out)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command papergen regenerates every evaluation artifact in one run: all
+// paper figures (4a–6d), the companion and ablation experiments, and the
+// extension experiments, each as an aligned text table plus a CSV series,
+// written into an output directory together with a manifest. This is the
+// harness EXPERIMENTS.md's numbers come from.
+//
+// Usage:
+//
+//	papergen [-out results] [-seed 42] [-scale-hom 0.002] [-scale-het 0.1] [-repeats 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"bioschedsim/internal/experiments"
+	"bioschedsim/internal/report"
+)
+
+func main() {
+	out := flag.String("out", "results", "output directory")
+	seed := flag.Uint64("seed", 42, "root random seed")
+	scaleHom := flag.Float64("scale-hom", 0.002, "scale for homogeneous figures (fig4*, fig5*)")
+	scaleHet := flag.Float64("scale-het", 0.1, "scale for heterogeneous figures, ablations, extensions")
+	repeats := flag.Int("repeats", 1, "repetitions averaged per point")
+	only := flag.String("only", "", "comma-separated subset of experiment ids")
+	flag.Parse()
+
+	if err := run(*out, *seed, *scaleHom, *scaleHet, *repeats, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "papergen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, seed uint64, scaleHom, scaleHet float64, repeats int, only string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	ids := experiments.IDs()
+	if only != "" {
+		ids = strings.Split(only, ",")
+	}
+	subset := map[string]bool{}
+	for _, id := range ids {
+		subset[id] = true
+	}
+
+	type entry struct {
+		id    string
+		title string
+		scale float64
+		wall  time.Duration
+	}
+	var manifest []entry
+	for _, id := range ids {
+		if !subset[id] {
+			continue
+		}
+		exp, err := experiments.Lookup(id)
+		if err != nil {
+			return err
+		}
+		scale := scaleHet
+		if strings.HasPrefix(id, "fig4") || strings.HasPrefix(id, "fig5") {
+			scale = scaleHom
+		}
+		start := time.Now()
+		res, err := exp.Run(experiments.Options{Scale: scale, Seed: seed, Repeats: repeats})
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		wall := time.Since(start)
+		if err := writeArtifacts(out, id, scale, seed, repeats, wall, res); err != nil {
+			return err
+		}
+		manifest = append(manifest, entry{id: id, title: exp.Title, scale: scale, wall: wall})
+		fmt.Printf("  %-16s %6.1fs  %s\n", id, wall.Seconds(), exp.Title)
+	}
+
+	if only != "" {
+		// Partial runs refresh individual artifacts without clobbering the
+		// full-run manifest.
+		fmt.Printf("wrote %d experiments to %s/ (manifest untouched for -only runs)\n", len(manifest), out)
+		return nil
+	}
+	sort.Slice(manifest, func(i, j int) bool { return manifest[i].id < manifest[j].id })
+	mf, err := os.Create(filepath.Join(out, "MANIFEST.md"))
+	if err != nil {
+		return err
+	}
+	defer mf.Close()
+	fmt.Fprintf(mf, "# Generated results\n\nseed %d, repeats %d, scales hom=%g het=%g\n\n", seed, repeats, scaleHom, scaleHet)
+	fmt.Fprintln(mf, "| id | title | scale | wall |")
+	fmt.Fprintln(mf, "|---|---|---|---|")
+	for _, e := range manifest {
+		fmt.Fprintf(mf, "| %s | %s | %g | %.1fs |\n", e.id, e.title, e.scale, e.wall.Seconds())
+	}
+	fmt.Printf("wrote %d experiments + MANIFEST.md to %s/\n", len(manifest), out)
+	return nil
+}
+
+func writeArtifacts(dir, id string, scale float64, seed uint64, repeats int, wall time.Duration, res *experiments.Result) error {
+	txt, err := os.Create(filepath.Join(dir, id+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	fmt.Fprintf(txt, "# experiment %s  scale=%g seed=%d repeats=%d  (%.1fs wall)\n",
+		id, scale, seed, repeats, wall.Seconds())
+	if err := report.WriteTable(txt, res); err != nil {
+		return err
+	}
+	csvf, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvf.Close()
+	if err := report.WriteCSV(csvf, res); err != nil {
+		return err
+	}
+	svgf, err := os.Create(filepath.Join(dir, id+".svg"))
+	if err != nil {
+		return err
+	}
+	defer svgf.Close()
+	return report.WriteSVG(svgf, res, 720, 480)
+}

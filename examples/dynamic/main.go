@@ -1,0 +1,103 @@
+// Dynamic: the extension features working together — Poisson cloudlet
+// arrivals instead of the paper's batch-at-zero submission, network staging
+// delays through a broker-centric star topology, a per-VM Gantt view of the
+// resulting execution, and host energy accounting under a linear power
+// model.
+//
+// Run with:
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/hybrid"
+	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/sim"
+	"bioschedsim/internal/trace"
+	"bioschedsim/internal/workload"
+)
+
+func main() {
+	const (
+		nVMs      = 12
+		nCloudlet = 120
+		rate      = 2.0 // cloudlet arrivals per second
+		seed      = 7
+	)
+
+	scenario, err := workload.Heterogeneous(nVMs, nCloudlet, 3, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's future-work hybrid picks its behaviour from the
+	// environment: this price-spread plant routes to HBO.
+	scheduler := hybrid.Default()
+	ctx := scenario.Context()
+	assignments, err := scheduler.Schedule(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hybrid scheduler selected behaviour: %s\n\n", scheduler.LastChoice())
+
+	// Build a star topology: the broker in the middle, one spoke per
+	// datacenter, 5 ms latency and 10 Gbps per spoke.
+	var dcNames []string
+	for _, dc := range scenario.Env.Datacenters {
+		dcNames = append(dcNames, dc.Name)
+	}
+	topo, err := cloud.NewStarTopology("broker", dcNames, 0.005, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Poisson arrivals: cloudlet i becomes available at arrivals[i]; its
+	// submission is additionally delayed by the staging transfer time.
+	arrivals, err := workload.PoissonArrivals(nCloudlet, rate, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	eng := sim.NewEngine()
+	broker := cloud.NewBroker(eng, scenario.Env, cloud.TimeSharedFactory)
+	cls, vms := sched.Split(assignments)
+	for i, c := range cls {
+		staging, err := topo.TransferTime("broker", vms[i].Datacenter().Name, c.FileSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		broker.SubmitAt(c, vms[i], sim.Time(arrivals[i])+staging)
+	}
+	eng.Run()
+
+	finished := broker.Finished()
+	fmt.Printf("executed %d cloudlets over %.1f simulated seconds (%d engine events)\n",
+		len(finished), metrics.SimulationTime(finished), eng.Fired())
+	fmt.Printf("mean wait %.3f s, mean execution %.3f s, imbalance %.3f\n\n",
+		metrics.MeanWaitTime(finished), metrics.MeanExecTime(finished),
+		metrics.TimeImbalance(finished))
+
+	// Per-VM activity Gantt.
+	fmt.Println(trace.Gantt(finished, 64))
+
+	// Energy accounting: 90 W idle, 250 W loaded hosts.
+	energy, err := cloud.HostEnergy(scenario.Env, finished, cloud.LinearPower{Idle: 90, Max: 250})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plant energy over the %.1f s horizon: %.1f kJ across %d hosts\n",
+		energy.Horizon, energy.TotalJoules/1000, len(energy.PerHost))
+
+	// Timeline CSV on stdout when asked.
+	if len(os.Args) > 1 && os.Args[1] == "-csv" {
+		if err := trace.FromFinished(finished).WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

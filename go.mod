@@ -1,0 +1,3 @@
+module bioschedsim
+
+go 1.22

@@ -1,0 +1,208 @@
+package bioschedsim_test
+
+import (
+	"testing"
+	"time"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/workload"
+)
+
+// runPipeline drives the full library pipeline — generate, schedule,
+// validate, execute, measure — for one scheduler on one scenario.
+func runPipeline(t *testing.T, name string, scenario *workload.Scenario) metrics.Report {
+	t.Helper()
+	scheduler, err := sched.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := scenario.Context()
+	start := time.Now()
+	assignments, err := scheduler.Schedule(ctx)
+	schedTime := time.Since(start)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if err := sched.ValidateAssignments(ctx, assignments); err != nil {
+		t.Fatalf("%s produced invalid assignments: %v", name, err)
+	}
+	cls, vms := sched.Split(assignments)
+	res, err := cloud.Execute(scenario.Env, cloud.TimeSharedFactory, cls, vms)
+	if err != nil {
+		t.Fatalf("%s execution failed: %v", name, err)
+	}
+	return metrics.Collect(name, res.Finished, scenario.Env.VMs, schedTime)
+}
+
+// TestEveryRegisteredSchedulerEndToEnd exercises the full pipeline for every
+// scheduler in the registry on both scenario families.
+func TestEveryRegisteredSchedulerEndToEnd(t *testing.T) {
+	for _, name := range sched.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			het, err := workload.Heterogeneous(12, 120, 3, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := runPipeline(t, name, het)
+			if rep.Cloudlets != 120 {
+				t.Fatalf("finished %d of 120", rep.Cloudlets)
+			}
+			if rep.SimTime <= 0 || rep.Cost <= 0 {
+				t.Fatalf("degenerate report: %+v", rep)
+			}
+
+			hom, err := workload.Homogeneous(8, 80, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep = runPipeline(t, name, hom)
+			if rep.Cloudlets != 80 {
+				t.Fatalf("homogeneous finished %d of 80", rep.Cloudlets)
+			}
+		})
+	}
+}
+
+// TestPipelineDeterministicAcrossProcessesShape: identical seeds produce
+// identical simulated outcomes for stochastic schedulers.
+func TestPipelineDeterministic(t *testing.T) {
+	for _, name := range []string{"aco", "rbs", "pso", "ga", "random"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			mk := func() metrics.Report {
+				s, err := workload.Heterogeneous(10, 100, 3, 99)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return runPipeline(t, name, s)
+			}
+			a, b := mk(), mk()
+			if a.SimTime != b.SimTime || a.Cost != b.Cost || a.Imbalance != b.Imbalance {
+				t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestHomogeneousOptimality: on a perfectly homogeneous plant the base test
+// is the optimum; no scheduler may beat it, and all must be within 10%.
+func TestHomogeneousOptimality(t *testing.T) {
+	base, err := workload.Homogeneous(10, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRep := runPipeline(t, "base", base)
+	for _, name := range []string{"aco", "hbo", "rbs"} {
+		s, err := workload.Homogeneous(10, 500, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := runPipeline(t, name, s)
+		if rep.SimTime < baseRep.SimTime*0.999 {
+			t.Fatalf("%s beat the homogeneous optimum: %v < %v", name, rep.SimTime, baseRep.SimTime)
+		}
+		if rep.SimTime > baseRep.SimTime*1.10 {
+			t.Fatalf("%s strayed from the optimum: %v vs %v", name, rep.SimTime, baseRep.SimTime)
+		}
+	}
+}
+
+// TestHeterogeneousHeadlines pins the paper's §VI-D2 conclusions on a
+// mid-size heterogeneous run.
+func TestHeterogeneousHeadlines(t *testing.T) {
+	reps := map[string]metrics.Report{}
+	for _, name := range []string{"aco", "base", "hbo", "rbs"} {
+		s, err := workload.Heterogeneous(50, 1000, 4, 2016)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[name] = runPipeline(t, name, s)
+	}
+	if !(reps["aco"].SimTime < reps["base"].SimTime && reps["aco"].SimTime < reps["rbs"].SimTime) {
+		t.Fatalf("ACO not fastest: %+v", reps)
+	}
+	if !(reps["hbo"].SimTime < reps["base"].SimTime) {
+		t.Fatalf("HBO not below base: hbo=%v base=%v", reps["hbo"].SimTime, reps["base"].SimTime)
+	}
+	if !(reps["hbo"].Cost < reps["aco"].Cost && reps["hbo"].Cost < reps["base"].Cost && reps["hbo"].Cost < reps["rbs"].Cost) {
+		t.Fatalf("HBO not cheapest: %+v", reps)
+	}
+	if !(reps["base"].CountImbalance <= reps["hbo"].CountImbalance && reps["base"].CountImbalance <= reps["aco"].CountImbalance) {
+		t.Fatalf("base not most count-balanced: %+v", reps)
+	}
+	if !(reps["base"].SchedulingTime < reps["aco"].SchedulingTime) {
+		t.Fatalf("base scheduling not cheaper than ACO")
+	}
+}
+
+// TestWorkConservationAcrossSchedulers: every cloudlet finishes exactly
+// once with zero remaining work, whatever the scheduler.
+func TestWorkConservationAcrossSchedulers(t *testing.T) {
+	for _, name := range []string{"aco", "base", "hbo", "rbs", "pso", "ga"} {
+		s, err := workload.Heterogeneous(9, 90, 3, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheduler, err := sched.New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := s.Context()
+		assignments, err := scheduler.Schedule(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cls, vms := sched.Split(assignments)
+		res, err := cloud.Execute(s.Env, cloud.TimeSharedFactory, cls, vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, c := range res.Finished {
+			if seen[c.ID] {
+				t.Fatalf("%s: cloudlet %d finished twice", name, c.ID)
+			}
+			seen[c.ID] = true
+			if c.Remaining() != 0 {
+				t.Fatalf("%s: cloudlet %d finished with %v MI remaining", name, c.ID, c.Remaining())
+			}
+			if c.FinishTime < c.StartTime {
+				t.Fatalf("%s: cloudlet %d finished before starting", name, c.ID)
+			}
+		}
+		if len(seen) != 90 {
+			t.Fatalf("%s: %d distinct cloudlets finished, want 90", name, len(seen))
+		}
+	}
+}
+
+// TestSpaceSharedExecutionPath drives the alternative execution discipline
+// end to end.
+func TestSpaceSharedExecutionPath(t *testing.T) {
+	s, err := workload.Heterogeneous(10, 100, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assignments, err := sched.NewRoundRobin().Schedule(s.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls, vms := sched.Split(assignments)
+	res, err := cloud.Execute(s.Env, cloud.SpaceSharedFactory, cls, vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Finished) != 100 {
+		t.Fatalf("finished %d of 100", len(res.Finished))
+	}
+	// Under space-sharing queued cloudlets wait; some wait must be observed
+	// with 10 cloudlets per single-PE VM.
+	if metrics.MeanWaitTime(res.Finished) <= 0 {
+		t.Fatal("expected queueing under space-shared execution")
+	}
+}

@@ -1,0 +1,414 @@
+// Package aco implements the paper's Ant Colony Optimization scheduler
+// (§IV, Algorithm 2, Equations 5–11, Table II parameters).
+//
+// Each ant builds a complete cloudlet→VM assignment. For cloudlet i an ant
+// picks VM j among its allowed set with probability
+//
+//	p_ij ∝ τ_ij^α · η_ij^β                      (Eq. 5)
+//
+// where the heuristic desirability η_ij = 1/d_ij is the inverse expected
+// execution time
+//
+//	d_ij = Length_i/(PEs_j·MIPS_j) + FileSize_i/Bw_j   (Eq. 6)
+//
+// The tabu list enforces the paper's constraint that an ant visits each VM
+// once before revisiting: after every VM has been used the list resets,
+// which spreads assignments across the fleet in rounds. A tour's quality
+// L_k is Eq. 8's estimated makespan — the maximum per-VM sum of d_ij along
+// the tour. After all ants finish a tour, pheromone evaporates and is
+// reinforced proportionally to tour quality (Eqs. 7–10), with an elitist
+// bonus on the iteration-best tour (Eq. 11). The best tour over all
+// iterations is returned.
+//
+// With Table II's α=0.01, β=0.99 the search is heavily heuristic-driven:
+// ACO chases computation speed, which is exactly the behaviour the paper
+// reports (best simulation time, worst load imbalance, longest scheduling
+// time).
+package aco
+
+import (
+	"fmt"
+	"math"
+
+	"bioschedsim/internal/sched"
+)
+
+// Config holds the ACO parameters. Defaults reproduce the paper's Table II.
+type Config struct {
+	Ants       int     // colony size (Table II: 50)
+	Alpha      float64 // pheromone weight α (Table II: 0.01)
+	Beta       float64 // heuristic weight β (Table II: 0.99)
+	Rho        float64 // pheromone decay ρ (Table II: 0.4)
+	Q          float64 // pheromone deposit constant (Table II: 100)
+	Iterations int     // tour-construction rounds (paper: "maxIterations")
+	InitialTau float64 // τ(0), the uniform initial pheromone (Alg. 2's C)
+	// MaxMatrixCells bounds the dense per-(cloudlet, VM) pheromone matrix of
+	// Eq. 5. Batches with n·m beyond the bound fall back to a per-VM
+	// pheromone vector — exact for the paper's homogeneous scenario (where
+	// d_ij is constant per VM) and the only way to run its extreme sizes
+	// (1 000 000 cloudlets × 100 000 VMs would need a 10¹¹-cell matrix).
+	MaxMatrixCells int64
+}
+
+// DefaultConfig returns Table II's parameters with 20 iterations and τ(0)=1.
+// The paper's Algorithm 2 leaves maxIterations open ("multiple values were
+// tested, and the best parameters were chosen"); 20 is where the combined
+// tour quality stops improving on the heterogeneous workload, see the
+// abl-aco-params benchmarks.
+func DefaultConfig() Config {
+	return Config{Ants: 50, Alpha: 0.01, Beta: 0.99, Rho: 0.4, Q: 100, Iterations: 20, InitialTau: 1, MaxMatrixCells: 64 << 20}
+}
+
+// Validate rejects configurations the update rules cannot handle.
+func (c Config) Validate() error {
+	switch {
+	case c.Ants <= 0:
+		return fmt.Errorf("aco: Ants must be positive, got %d", c.Ants)
+	case c.Iterations <= 0:
+		return fmt.Errorf("aco: Iterations must be positive, got %d", c.Iterations)
+	case c.Rho < 0 || c.Rho >= 1:
+		return fmt.Errorf("aco: Rho must be in [0,1), got %v", c.Rho)
+	case c.Q <= 0:
+		return fmt.Errorf("aco: Q must be positive, got %v", c.Q)
+	case c.InitialTau <= 0:
+		return fmt.Errorf("aco: InitialTau must be positive, got %v", c.InitialTau)
+	case c.Alpha < 0 || c.Beta < 0:
+		return fmt.Errorf("aco: Alpha and Beta must be non-negative, got %v/%v", c.Alpha, c.Beta)
+	case c.MaxMatrixCells <= 0:
+		return fmt.Errorf("aco: MaxMatrixCells must be positive, got %d", c.MaxMatrixCells)
+	}
+	return nil
+}
+
+// Scheduler is the ACO batch scheduler.
+type Scheduler struct {
+	cfg Config
+}
+
+// New returns an ACO scheduler with cfg; zero-value fields fall back to the
+// paper's defaults field-by-field.
+func New(cfg Config) *Scheduler {
+	def := DefaultConfig()
+	if cfg.Ants == 0 {
+		cfg.Ants = def.Ants
+	}
+	if cfg.Alpha == 0 && cfg.Beta == 0 {
+		cfg.Alpha, cfg.Beta = def.Alpha, def.Beta
+	}
+	if cfg.Rho == 0 {
+		cfg.Rho = def.Rho
+	}
+	if cfg.Q == 0 {
+		cfg.Q = def.Q
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = def.Iterations
+	}
+	if cfg.InitialTau == 0 {
+		cfg.InitialTau = def.InitialTau
+	}
+	if cfg.MaxMatrixCells == 0 {
+		cfg.MaxMatrixCells = def.MaxMatrixCells
+	}
+	return &Scheduler{cfg: cfg}
+}
+
+// Default returns an ACO scheduler with the paper's Table II parameters.
+func Default() *Scheduler { return New(DefaultConfig()) }
+
+// Config returns the scheduler's effective configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Name implements sched.Scheduler.
+func (*Scheduler) Name() string { return "aco" }
+
+// Schedule implements sched.Scheduler.
+func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ctx.Rand == nil {
+		return nil, fmt.Errorf("aco: scheduler requires ctx.Rand")
+	}
+	run := newRun(s.cfg, ctx)
+	best := run.search()
+	out := make([]sched.Assignment, len(ctx.Cloudlets))
+	for i, v := range best {
+		out[i] = sched.Assignment{Cloudlet: ctx.Cloudlets[i], VM: ctx.VMs[v]}
+	}
+	return out, nil
+}
+
+// run carries the per-call search state. Two pheromone layouts exist:
+//
+//   - dense: the faithful per-(cloudlet, VM) matrix of Eq. 5, used whenever
+//     n·m fits within Config.MaxMatrixCells;
+//   - vector: one pheromone value per VM, used for the paper's extreme
+//     homogeneous sizes (up to 10¹¹ pairs) where a dense matrix is
+//     physically impossible. In the homogeneous scenario every cloudlet has
+//     identical d_ij per VM, so collapsing the cloudlet dimension is exact;
+//     for heterogeneous batches it is an approximation, which is why the
+//     threshold is generous and configurable.
+type run struct {
+	cfg   Config
+	ctx   *sched.Context
+	n     int // cloudlets
+	m     int // VMs
+	dense bool
+
+	d   [][]float64 // dense: d_ij expected execution times (Eq. 6)
+	eta [][]float64 // dense: η_ij^β, precomputed
+	tau [][]float64 // dense: pheromone τ_ij
+
+	tauVM  []float64 // vector: pheromone per VM
+	invCap []float64 // vector: cached 1/(PEs·MIPS) per VM
+	invBw  []float64 // vector: cached 1/Bw per VM (0 when Bw is 0)
+
+	tour []int // scratch: current combined assignment (cloudlet → VM index)
+
+	bestTour []int
+	bestLen  float64
+}
+
+func newRun(cfg Config, ctx *sched.Context) *run {
+	r := &run{cfg: cfg, ctx: ctx, n: len(ctx.Cloudlets), m: len(ctx.VMs), bestLen: math.Inf(1)}
+	r.dense = int64(r.n)*int64(r.m) <= cfg.MaxMatrixCells
+	r.tour = make([]int, r.n)
+	if r.dense {
+		r.d = make([][]float64, r.n)
+		r.eta = make([][]float64, r.n)
+		r.tau = make([][]float64, r.n)
+		for i, c := range ctx.Cloudlets {
+			r.d[i] = make([]float64, r.m)
+			r.eta[i] = make([]float64, r.m)
+			r.tau[i] = make([]float64, r.m)
+			for j, vm := range ctx.VMs {
+				dij := vm.EstimateExecTime(c) // Eq. 6
+				if dij <= 0 {
+					dij = math.SmallestNonzeroFloat64
+				}
+				r.d[i][j] = dij
+				r.eta[i][j] = math.Pow(1/dij, cfg.Beta)
+				r.tau[i][j] = cfg.InitialTau
+			}
+		}
+		return r
+	}
+	r.tauVM = make([]float64, r.m)
+	r.invCap = make([]float64, r.m)
+	r.invBw = make([]float64, r.m)
+	for j, vm := range ctx.VMs {
+		r.tauVM[j] = cfg.InitialTau
+		r.invCap[j] = 1 / vm.Capacity()
+		if vm.Bw > 0 {
+			r.invBw[j] = 1 / vm.Bw
+		}
+	}
+	return r
+}
+
+// dij returns Eq. 6's expected execution time of cloudlet i on VM j.
+func (r *run) dij(i, j int) float64 {
+	if r.dense {
+		return r.d[i][j]
+	}
+	c := r.ctx.Cloudlets[i]
+	d := c.Length*r.invCap[j] + c.FileSize*r.invBw[j]
+	if d <= 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	return d
+}
+
+// weight returns Eq. 5's unnormalized transition weight τ^α·η^β.
+func (r *run) weight(i, j int) float64 {
+	if r.dense {
+		return math.Pow(r.tau[i][j], r.cfg.Alpha) * r.eta[i][j]
+	}
+	return math.Pow(r.tauVM[j], r.cfg.Alpha) * math.Pow(1/r.dij(i, j), r.cfg.Beta)
+}
+
+// search runs the configured iterations and returns the best combined tour.
+//
+// Following Algorithm 2 and Figure 2, the scheduler "distributes the
+// Cloudlets to each ant": the batch is partitioned into one contiguous
+// chunk per ant, each ant walks VMs for its own chunk under its own tabu
+// list, and the union of all ants' picks is the iteration's solution. The
+// best iteration (by Eq. 8 makespan over the union) is returned.
+func (r *run) search() []int {
+	ants := r.cfg.Ants
+	if ants > r.n {
+		ants = r.n // never more ants than cloudlets; the rest would idle
+	}
+	chunks := make([][2]int, ants)
+	for k := 0; k < ants; k++ {
+		chunks[k] = [2]int{k * r.n / ants, (k + 1) * r.n / ants}
+	}
+	tourLens := make([]float64, ants)
+	vmTime := make([]float64, r.m)
+	for it := 0; it < r.cfg.Iterations; it++ {
+		iterBest := 0
+		for k := 0; k < ants; k++ {
+			tourLens[k] = r.construct(chunks[k][0], chunks[k][1])
+			if tourLens[k] < tourLens[iterBest] {
+				iterBest = k
+			}
+		}
+		// Combined iteration quality: Eq. 8 makespan over the whole batch.
+		for j := range vmTime {
+			vmTime[j] = 0
+		}
+		for i, j := range r.tour {
+			vmTime[j] += r.dij(i, j)
+		}
+		combined := 0.0
+		for _, t := range vmTime {
+			if t > combined {
+				combined = t
+			}
+		}
+		if combined < r.bestLen {
+			r.bestLen = combined
+			r.bestTour = append(r.bestTour[:0], r.tour...)
+		}
+		r.evaporate()
+		// Eq. 9/10: every ant deposits Q/L_k along its own chunk's edges.
+		for k := 0; k < ants; k++ {
+			r.depositChunk(chunks[k][0], chunks[k][1], r.cfg.Q/tourLens[k])
+		}
+		// Eq. 11: elitist reinforcement of the iteration-best ant's tour.
+		r.depositChunk(chunks[iterBest][0], chunks[iterBest][1], r.cfg.Q/tourLens[iterBest])
+	}
+	return r.bestTour
+}
+
+// construct builds one ant's tour for cloudlets [lo,hi) into r.tour[lo:hi]
+// and returns its quality L_k per Eq. 8: the maximum over VMs of the summed
+// expected execution times the ant routed to that VM.
+func (r *run) construct(lo, hi int) float64 {
+	rnd := r.ctx.Rand
+	tabu := make([]bool, r.m)
+	free := r.m
+	vmTime := make(map[int]float64, hi-lo)
+	// Alg. 2 line 4: the ant starts at a random VM, which is marked visited.
+	start := rnd.Intn(r.m)
+	tabu[start] = true
+	free--
+	if free == 0 { // single-VM fleet
+		var sum float64
+		for i := lo; i < hi; i++ {
+			r.tour[i] = start
+			sum += r.dij(i, start)
+		}
+		return sum
+	}
+	weights := make([]float64, r.m)
+	for i := lo; i < hi; i++ {
+		j := r.pick(i, tabu, weights, rnd)
+		r.tour[i] = j
+		vmTime[j] += r.dij(i, j)
+		tabu[j] = true
+		free--
+		if free == 0 {
+			// Constraint satisfied for every VM: start a fresh visiting round.
+			for v := range tabu {
+				tabu[v] = false
+			}
+			free = r.m
+		}
+	}
+	var length float64
+	for _, t := range vmTime {
+		if t > length {
+			length = t
+		}
+	}
+	return length
+}
+
+// pick samples a VM for cloudlet i by Eq. 5's probabilistic transition rule,
+// restricted to VMs outside the tabu list.
+func (r *run) pick(i int, tabu []bool, weights []float64, rnd interface{ Float64() float64 }) int {
+	var total float64
+	for j := 0; j < r.m; j++ {
+		if tabu[j] {
+			weights[j] = 0
+			continue
+		}
+		w := r.weight(i, j)
+		weights[j] = w
+		total += w
+	}
+	if total <= 0 || math.IsInf(total, 1) || math.IsNaN(total) {
+		// Degenerate weights (all under/overflowed): fall back to the first
+		// allowed VM, keeping the run deterministic.
+		for j := 0; j < r.m; j++ {
+			if !tabu[j] {
+				return j
+			}
+		}
+		return 0
+	}
+	x := rnd.Float64() * total
+	for j := 0; j < r.m; j++ {
+		x -= weights[j]
+		if x < 0 && weights[j] > 0 {
+			return j
+		}
+	}
+	// Float round-off: return the last allowed VM.
+	for j := r.m - 1; j >= 0; j-- {
+		if !tabu[j] {
+			return j
+		}
+	}
+	return 0
+}
+
+// evaporate applies Eq. 9's decay τ ← (1−ρ)τ to every pheromone cell.
+func (r *run) evaporate() {
+	decay := 1 - r.cfg.Rho
+	if !r.dense {
+		for j := range r.tauVM {
+			r.tauVM[j] *= decay
+		}
+		return
+	}
+	for i := range r.tau {
+		row := r.tau[i]
+		for j := range row {
+			row[j] *= decay
+		}
+	}
+}
+
+// depositChunk adds delta pheromone along the current tour's edges for
+// cloudlets [lo,hi).
+func (r *run) depositChunk(lo, hi int, delta float64) {
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
+		return
+	}
+	if !r.dense {
+		for i := lo; i < hi; i++ {
+			r.tauVM[r.tour[i]] += delta
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		r.tau[i][r.tour[i]] += delta
+	}
+}
+
+func init() {
+	sched.Register("aco", func() sched.Scheduler { return Default() })
+}
+
+// TourLength exposes the internal tour-quality function (Eq. 8) for tests
+// and ablations: the estimated makespan of an assignment, i.e. the maximum
+// over VMs of the summed expected execution times (Eq. 6) routed to it.
+func TourLength(assignments []sched.Assignment) float64 {
+	return sched.EstimatedMakespan(assignments)
+}

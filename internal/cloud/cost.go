@@ -1,0 +1,46 @@
+package cloud
+
+// ProcessingCost prices the execution of cloudlet c on VM v using the price
+// list of v's datacenter, following the paper's §VI-C-4 ("bandwidth, memory,
+// and MIPS needed") and the HBO cost model of Eqs. 1–4:
+//
+//	resource = CostPerStorage·Size_vm + CostPerMemory·RAM_vm + CostPerBandwidth·Bw_vm
+//	cost     = resource · (Length_c / 1000)  +  CostPerProcessing · (Length_c / Capacity_vm)
+//
+// The first term is Eq. 1's (Size_i + M_i + BW_i) × T_CLj with the cloudlet
+// length expressed in kMI so the scale of Table VII's prices stays sensible;
+// the second term charges CPU time at the datacenter's processing price
+// (Table VII's CostPerProcessing, constant 3 across datacenters).
+func ProcessingCost(c *Cloudlet, v *VM) float64 {
+	dc := v.Datacenter()
+	if dc == nil {
+		return 0
+	}
+	ch := dc.Characteristics
+	resource := ch.CostPerStorage*v.Size + ch.CostPerMemory*v.RAM + ch.CostPerBandwidth*v.Bw
+	cpuSeconds := c.Length / v.Capacity()
+	return resource*(c.Length/1000) + ch.CostPerProcessing*cpuSeconds
+}
+
+// ResourceCostRate returns Eq. 1's per-kMI resource price of running work on
+// v — the quantity HBO minimizes when ranking datacenters.
+func ResourceCostRate(v *VM) float64 {
+	dc := v.Datacenter()
+	if dc == nil {
+		return 0
+	}
+	ch := dc.Characteristics
+	return ch.CostPerStorage*v.Size + ch.CostPerMemory*v.RAM + ch.CostPerBandwidth*v.Bw
+}
+
+// TotalProcessingCost sums ProcessingCost over finished cloudlets, using
+// each cloudlet's recorded VM.
+func TotalProcessingCost(cloudlets []*Cloudlet) float64 {
+	var sum float64
+	for _, c := range cloudlets {
+		if c.VM != nil {
+			sum += ProcessingCost(c, c.VM)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,95 @@
+package cloud
+
+import (
+	"fmt"
+)
+
+// Host is a physical machine inside a datacenter. It provisions PEs, RAM,
+// bandwidth, and storage to VMs; oversubscription is disallowed, matching
+// CloudSim's default provisioners.
+type Host struct {
+	ID      int
+	PEs     []PE
+	RAM     float64 // MB
+	Bw      float64 // Mbps
+	Storage float64 // MB
+
+	Datacenter *Datacenter // owning datacenter, set on construction
+	vms        []*VM
+
+	usedMIPS    float64
+	usedRAM     float64
+	usedBw      float64
+	usedStorage float64
+}
+
+// NewHost returns a host with the given capacities.
+func NewHost(id int, pes []PE, ram, bw, storage float64) *Host {
+	if len(pes) == 0 {
+		panic(fmt.Sprintf("cloud: host %d with no PEs", id))
+	}
+	return &Host{ID: id, PEs: pes, RAM: ram, Bw: bw, Storage: storage}
+}
+
+// TotalMIPS returns the host's aggregate compute capacity.
+func (h *Host) TotalMIPS() float64 { return TotalMIPS(h.PEs) }
+
+// AvailableMIPS returns unreserved compute capacity.
+func (h *Host) AvailableMIPS() float64 { return h.TotalMIPS() - h.usedMIPS }
+
+// AvailableRAM returns unreserved RAM in MB.
+func (h *Host) AvailableRAM() float64 { return h.RAM - h.usedRAM }
+
+// AvailableBw returns unreserved bandwidth in Mbps.
+func (h *Host) AvailableBw() float64 { return h.Bw - h.usedBw }
+
+// AvailableStorage returns unreserved storage in MB.
+func (h *Host) AvailableStorage() float64 { return h.Storage - h.usedStorage }
+
+// VMs returns the VMs currently placed on the host.
+func (h *Host) VMs() []*VM { return h.vms }
+
+// CanHost reports whether the host has capacity for vm.
+func (h *Host) CanHost(vm *VM) bool {
+	return vm.Capacity() <= h.AvailableMIPS()+1e-9 &&
+		vm.RAM <= h.AvailableRAM()+1e-9 &&
+		vm.Bw <= h.AvailableBw()+1e-9 &&
+		vm.Size <= h.AvailableStorage()+1e-9
+}
+
+// Place reserves capacity for vm and records the placement. It returns an
+// error when the host lacks capacity.
+func (h *Host) Place(vm *VM) error {
+	if vm.Host != nil {
+		return fmt.Errorf("cloud: VM %d already placed on host %d", vm.ID, vm.Host.ID)
+	}
+	if !h.CanHost(vm) {
+		return fmt.Errorf("cloud: host %d cannot fit VM %d (mips %.0f/%.0f ram %.0f/%.0f bw %.0f/%.0f storage %.0f/%.0f)",
+			h.ID, vm.ID, vm.Capacity(), h.AvailableMIPS(), vm.RAM, h.AvailableRAM(),
+			vm.Bw, h.AvailableBw(), vm.Size, h.AvailableStorage())
+	}
+	h.usedMIPS += vm.Capacity()
+	h.usedRAM += vm.RAM
+	h.usedBw += vm.Bw
+	h.usedStorage += vm.Size
+	h.vms = append(h.vms, vm)
+	vm.Host = h
+	return nil
+}
+
+// Evict releases vm's reservation. It returns an error when vm is not on
+// this host.
+func (h *Host) Evict(vm *VM) error {
+	for i, resident := range h.vms {
+		if resident == vm {
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			h.usedMIPS -= vm.Capacity()
+			h.usedRAM -= vm.RAM
+			h.usedBw -= vm.Bw
+			h.usedStorage -= vm.Size
+			vm.Host = nil
+			return nil
+		}
+	}
+	return fmt.Errorf("cloud: VM %d not on host %d", vm.ID, h.ID)
+}

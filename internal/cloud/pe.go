@@ -1,0 +1,29 @@
+package cloud
+
+import "fmt"
+
+// PE is a processing element (one core) with a fixed MIPS rating.
+type PE struct {
+	MIPS float64
+}
+
+// NewPEs returns n identical processing elements rated at mips.
+func NewPEs(n int, mips float64) []PE {
+	if n <= 0 || mips <= 0 {
+		panic(fmt.Sprintf("cloud: invalid PE spec n=%d mips=%v", n, mips))
+	}
+	pes := make([]PE, n)
+	for i := range pes {
+		pes[i] = PE{MIPS: mips}
+	}
+	return pes
+}
+
+// TotalMIPS sums the MIPS ratings of a PE list.
+func TotalMIPS(pes []PE) float64 {
+	var sum float64
+	for _, p := range pes {
+		sum += p.MIPS
+	}
+	return sum
+}

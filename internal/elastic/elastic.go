@@ -1,0 +1,220 @@
+// Package elastic implements threshold-rule autoscaling, the mechanism the
+// paper's §II attributes to Amazon EC2: "through monitoring, if the load
+// increases beyond a specific threshold, then new instances are
+// instantiated". An Autoscaler samples the fleet's average residency on a
+// fixed interval and provisions or decommissions VMs against configured
+// watermarks — the rule-based baseline the bio-inspired schedulers are
+// meant to improve upon.
+package elastic
+
+import (
+	"fmt"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/sim"
+)
+
+// VMTemplate describes the instance type the autoscaler launches.
+type VMTemplate struct {
+	MIPS float64
+	PEs  int
+	RAM  float64
+	Bw   float64
+	Size float64
+}
+
+// Policy is the threshold rule set.
+type Policy struct {
+	// ScaleUpLoad adds a VM when average residency (cloudlets per VM)
+	// exceeds it.
+	ScaleUpLoad float64
+	// ScaleDownLoad removes one idle VM when average residency falls below
+	// it. Only completely idle VMs are removed.
+	ScaleDownLoad float64
+	// Interval is the monitoring period in simulated seconds.
+	Interval sim.Time
+	// MinVMs/MaxVMs bound the fleet.
+	MinVMs, MaxVMs int
+	// Template is the instance type launched on scale-up.
+	Template VMTemplate
+	// BootDelay is how long a scaled-up instance takes before it can accept
+	// work (0 = instant). Real clouds pay tens of seconds here, which is
+	// the lag window threshold autoscaling is criticized for.
+	BootDelay sim.Time
+}
+
+// Validate rejects unusable policies.
+func (p Policy) Validate() error {
+	switch {
+	case p.Interval <= 0:
+		return fmt.Errorf("elastic: Interval must be positive, got %v", p.Interval)
+	case p.ScaleUpLoad <= p.ScaleDownLoad:
+		return fmt.Errorf("elastic: ScaleUpLoad (%v) must exceed ScaleDownLoad (%v)", p.ScaleUpLoad, p.ScaleDownLoad)
+	case p.MinVMs < 1:
+		return fmt.Errorf("elastic: MinVMs must be at least 1, got %d", p.MinVMs)
+	case p.MaxVMs < p.MinVMs:
+		return fmt.Errorf("elastic: MaxVMs (%d) below MinVMs (%d)", p.MaxVMs, p.MinVMs)
+	case p.Template.MIPS <= 0 || p.Template.PEs <= 0:
+		return fmt.Errorf("elastic: template needs positive MIPS and PEs")
+	case p.BootDelay < 0:
+		return fmt.Errorf("elastic: BootDelay must be non-negative, got %v", p.BootDelay)
+	}
+	return nil
+}
+
+// Action is a scaling decision kind.
+type Action int
+
+// Actions.
+const (
+	ScaleUp Action = iota
+	ScaleDown
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	if a == ScaleUp {
+		return "scale-up"
+	}
+	return "scale-down"
+}
+
+// Event records one scaling decision.
+type Event struct {
+	Time sim.Time
+	Act  Action
+	VMID int
+	Load float64 // average residency that triggered the decision
+	Size int     // fleet size after the action
+}
+
+// Autoscaler monitors a broker's fleet and applies the policy.
+type Autoscaler struct {
+	broker  *cloud.Broker
+	policy  Policy
+	factory cloud.SchedulerFactory
+	alloc   cloud.AllocationPolicy
+
+	nextID  int
+	events  []Event
+	stopped bool
+}
+
+// New returns an autoscaler over broker. nextID seeds fresh VM identifiers
+// (use a value above the existing fleet's IDs).
+func New(broker *cloud.Broker, policy Policy, factory cloud.SchedulerFactory, nextID int) (*Autoscaler, error) {
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	if factory == nil {
+		factory = cloud.TimeSharedFactory
+	}
+	return &Autoscaler{broker: broker, policy: policy, factory: factory, alloc: cloud.LeastLoaded{}, nextID: nextID}, nil
+}
+
+// Events returns the scaling decisions taken so far.
+func (a *Autoscaler) Events() []Event { return a.events }
+
+// Stop halts monitoring after the current tick.
+func (a *Autoscaler) Stop() { a.stopped = true }
+
+// Start begins periodic monitoring on the broker's engine. Monitoring
+// reschedules itself while cloudlets remain in flight or until Stop.
+func (a *Autoscaler) Start() {
+	a.broker.Engine().Schedule(a.policy.Interval, sim.PriorityLow, a.tick)
+}
+
+// load returns the fleet's average residency.
+func (a *Autoscaler) load() float64 {
+	vms := a.broker.Environment().VMs
+	if len(vms) == 0 {
+		return 0
+	}
+	total := 0
+	for _, vm := range vms {
+		total += vm.QueuedOrRunning()
+	}
+	return float64(total) / float64(len(vms))
+}
+
+// tick applies the threshold rules once and reschedules itself.
+func (a *Autoscaler) tick() {
+	if a.stopped {
+		return
+	}
+	env := a.broker.Environment()
+	now := a.broker.Engine().Now()
+	load := a.load()
+	switch {
+	case load > a.policy.ScaleUpLoad && len(env.VMs) < a.policy.MaxVMs:
+		tmpl := a.policy.Template
+		vm := cloud.NewVM(a.nextID, tmpl.MIPS, tmpl.PEs, tmpl.RAM, tmpl.Bw, tmpl.Size)
+		a.nextID++
+		if err := a.broker.ProvisionVMAfter(vm, a.alloc, a.factory, a.policy.BootDelay); err == nil {
+			a.events = append(a.events, Event{Time: now, Act: ScaleUp, VMID: vm.ID, Load: load, Size: len(env.VMs)})
+			// Once the instance is up, pull work off the busiest VM so the
+			// new capacity actually relieves the backlog (capacity without
+			// rebalancing only helps future arrivals).
+			a.broker.Engine().Schedule(a.policy.BootDelay, sim.PriorityLow, func() {
+				a.rebalance(vm)
+			})
+		}
+	case load < a.policy.ScaleDownLoad && len(env.VMs) > a.policy.MinVMs:
+		// Remove one fully idle VM, if any.
+		for _, vm := range env.VMs {
+			if vm.QueuedOrRunning() == 0 {
+				if err := a.broker.DecommissionVM(vm, nil); err == nil {
+					a.events = append(a.events, Event{Time: now, Act: ScaleDown, VMID: vm.ID, Load: load, Size: len(env.VMs)})
+				}
+				break
+			}
+		}
+	}
+	// Keep monitoring while work remains or forever until Stop: the engine
+	// drains when no events are left, so reschedule only when the plant is
+	// still busy — otherwise monitoring would keep the simulation alive.
+	if a.busy() {
+		a.broker.Engine().Schedule(a.policy.Interval, sim.PriorityLow, a.tick)
+	}
+}
+
+// rebalance drains the busiest VM and redistributes its resident cloudlets
+// between itself and the freshly booted VM, booking by estimated execution
+// time so the faster machine takes proportionally more.
+func (a *Autoscaler) rebalance(fresh *cloud.VM) {
+	if fresh.Scheduler() == nil {
+		return // boot raced a Stop or the provision failed
+	}
+	var busiest *cloud.VM
+	for _, vm := range a.broker.Environment().VMs {
+		if vm == fresh {
+			continue
+		}
+		if busiest == nil || vm.QueuedOrRunning() > busiest.QueuedOrRunning() {
+			busiest = vm
+		}
+	}
+	if busiest == nil || busiest.QueuedOrRunning() < 2 {
+		return // nothing worth splitting
+	}
+	drained := busiest.Scheduler().Drain()
+	loads := map[*cloud.VM]float64{busiest: 0, fresh: 0}
+	for _, c := range drained {
+		target := busiest
+		if loads[fresh]+fresh.EstimateExecTime(c) < loads[busiest]+busiest.EstimateExecTime(c) {
+			target = fresh
+		}
+		loads[target] += target.EstimateExecTime(c)
+		target.Scheduler().Submit(c)
+	}
+}
+
+// busy reports whether any VM still holds cloudlets.
+func (a *Autoscaler) busy() bool {
+	for _, vm := range a.broker.Environment().VMs {
+		if vm.QueuedOrRunning() > 0 {
+			return true
+		}
+	}
+	return false
+}

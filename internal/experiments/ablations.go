@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"bioschedsim/internal/aco"
+	"bioschedsim/internal/ga"
+	"bioschedsim/internal/hbo"
+	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/pso"
+	"bioschedsim/internal/rbs"
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/xrand"
+)
+
+// Ablation experiments: instead of sweeping VM count, these sweep one
+// design parameter on a fixed heterogeneous scenario (the paper's Tables
+// V–VII sizes, scaled by Options.Scale) and report how the paper's metrics
+// respond. DESIGN.md's "Ablations" table indexes them.
+
+// ablationScenario fixes the problem size for parameter sweeps: the paper's
+// heterogeneous midpoint of 500 VMs and 5 000 cloudlets, scaled.
+func ablationScenario(opts Options) (vms, cloudlets int) {
+	opts = opts.normalized()
+	return scaleCount(500, opts.Scale, 2), scaleCount(5000, opts.Scale, 10)
+}
+
+// paramSweep runs build(x) for every x on the fixed ablation scenario,
+// in parallel, and returns one Point per x keyed by label.
+func paramSweep(xs []float64, label string, opts Options, build func(x float64) sched.Scheduler) ([]Point, error) {
+	opts = opts.normalized()
+	nVMs, nCls := ablationScenario(opts)
+	points := make([]Point, len(xs))
+	errs := make([]error, len(xs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for idx := range xs {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			scheduler := build(xs[idx])
+			var acc accumulator
+			for rep := 0; rep < opts.Repeats; rep++ {
+				// Unlike figure sweeps, every x shares the same workload
+				// seed: only the parameter under study varies.
+				seed := xrand.Stream(opts.Seed, uint64(rep)).Uint64()
+				report, err := runOnce(scheduler, pointSpec{
+					kind: heterogeneous, vms: nVMs, cloudlets: nCls, dcs: 4,
+				}, seed)
+				if err != nil {
+					errs[idx] = fmt.Errorf("%s x=%v: %w", label, xs[idx], err)
+					return
+				}
+				acc.add(report)
+			}
+			points[idx] = Point{X: xs[idx], Reports: map[string]metrics.Report{label: acc.mean(label)}}
+		}(idx)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// ablation builds an Experiment around a paramSweep.
+func ablation(id, title, xlabel, metric, ylabel, label string, xs []float64, build func(x float64) sched.Scheduler) *Experiment {
+	e := &Experiment{ID: id, Title: title, XLabel: xlabel, YLabel: ylabel, Metric: metric}
+	e.Run = func(opts Options) (*Result, error) {
+		points, err := paramSweep(xs, label, opts, build)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{ID: e.ID, Title: e.Title, XLabel: e.XLabel, YLabel: e.YLabel, Metric: e.Metric, Points: points}, nil
+	}
+	return e
+}
+
+func init() {
+	registerExperiment(ablation("abl-aco-iters",
+		"ACO sensitivity: iterations vs simulation time (Table II context)",
+		"maxIterations", "sim_ms", "Simulation Time of Cloudlets (ms)", "aco",
+		[]float64{1, 2, 5, 10, 20, 40},
+		func(x float64) sched.Scheduler {
+			cfg := aco.DefaultConfig()
+			cfg.Iterations = int(x)
+			return aco.New(cfg)
+		}))
+	registerExperiment(ablation("abl-aco-ants",
+		"ACO sensitivity: colony size vs simulation time (Table II: 50)",
+		"Ants", "sim_ms", "Simulation Time of Cloudlets (ms)", "aco",
+		[]float64{5, 10, 25, 50, 100},
+		func(x float64) sched.Scheduler {
+			cfg := aco.DefaultConfig()
+			cfg.Ants = int(x)
+			return aco.New(cfg)
+		}))
+	registerExperiment(ablation("abl-aco-beta",
+		"ACO sensitivity: heuristic weight β vs simulation time (Table II: 0.99)",
+		"Beta (with Alpha = 1-Beta)", "sim_ms", "Simulation Time of Cloudlets (ms)", "aco",
+		[]float64{0.01, 0.25, 0.5, 0.75, 0.99},
+		func(x float64) sched.Scheduler {
+			cfg := aco.DefaultConfig()
+			cfg.Beta = x
+			cfg.Alpha = 1 - x
+			return aco.New(cfg)
+		}))
+	registerExperiment(ablation("abl-hbo-faclb",
+		"HBO sensitivity: load-balance factor vs processing cost",
+		"facLB (x fair share)", "cost", "Processing Cost", "hbo",
+		[]float64{0.5, 1, 1.5, 2, 3, 5},
+		func(x float64) sched.Scheduler {
+			// FacLB is absolute cloudlets-per-VM; express x in fair shares of
+			// the ablation scenario so the sweep is size-independent.
+			return &facLBScaled{mult: x}
+		}))
+	registerExperiment(ablation("abl-ga-generations",
+		"GA sensitivity: generations vs simulation time (the §II convergence-cost critique [17])",
+		"Generations", "sim_ms", "Simulation Time of Cloudlets (ms)", "ga",
+		[]float64{1, 5, 20, 60, 120},
+		func(x float64) sched.Scheduler {
+			cfg := ga.DefaultConfig()
+			cfg.Generations = int(x)
+			return ga.New(cfg)
+		}))
+	registerExperiment(ablation("abl-pso-objective",
+		"PSO sensitivity: optimization objective vs processing cost (0=makespan, 1=cost, 2=combined)",
+		"Objective (0=makespan, 1=cost, 2=combined)", "cost", "Processing Cost", "pso",
+		[]float64{0, 1, 2},
+		func(x float64) sched.Scheduler {
+			cfg := pso.DefaultConfig()
+			cfg.Objective = pso.Objective(int(x))
+			return pso.New(cfg)
+		}))
+	registerExperiment(ablation("abl-rbs-groups",
+		"RBS sensitivity: group count vs simulation time",
+		"Groups (q)", "sim_ms", "Simulation Time of Cloudlets (ms)", "rbs",
+		[]float64{1, 2, 4, 8, 16},
+		func(x float64) sched.Scheduler {
+			return rbs.New(rbs.Config{Groups: int(x)})
+		}))
+}
+
+// facLBScaled wraps HBO so the configured facLB multiplier is resolved
+// against each batch's fair share at schedule time.
+type facLBScaled struct {
+	mult float64
+}
+
+// Name implements sched.Scheduler.
+func (*facLBScaled) Name() string { return "hbo" }
+
+// Schedule implements sched.Scheduler.
+func (f *facLBScaled) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
+	fair := float64(len(ctx.Cloudlets)) / float64(len(ctx.VMs))
+	if fair < 1 {
+		fair = 1
+	}
+	return hbo.New(hbo.Config{Groups: 2, FacLB: f.mult * fair}).Schedule(ctx)
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"testing"
+
+	"bioschedsim/internal/stats"
+)
+
+func ablOpts() Options {
+	// 10 VMs, 100 cloudlets: enough signal for shape assertions, fast.
+	return Options{Scale: 0.02, Seed: 42}
+}
+
+func TestAblationsRegistered(t *testing.T) {
+	for _, id := range []string{"abl-aco-iters", "abl-aco-ants", "abl-aco-beta", "abl-hbo-faclb", "abl-rbs-groups", "abl-extensions"} {
+		if _, err := Lookup(id); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestAblationSharesWorkloadAcrossX(t *testing.T) {
+	// The whole point of an ablation: only the parameter varies. The base
+	// report fields that do not depend on the parameter (cloudlets, VMs)
+	// must be constant across x.
+	res := runFig(t, "abl-rbs-groups", ablOpts())
+	first := res.Points[0].Reports["rbs"]
+	for _, p := range res.Points[1:] {
+		rep := p.Reports["rbs"]
+		if rep.Cloudlets != first.Cloudlets || rep.VMs != first.VMs {
+			t.Fatalf("workload size varies across x: %+v vs %+v", rep, first)
+		}
+	}
+}
+
+func TestAblationHBOFacLBCostMonotone(t *testing.T) {
+	res := runFig(t, "abl-hbo-faclb", ablOpts())
+	xs, ys := res.Series("hbo")
+	slope, err := stats.Slope(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope >= 0 {
+		t.Fatalf("cost should fall as facLB loosens, slope %v (ys=%v)", slope, ys)
+	}
+}
+
+func TestAblationACOItersImprove(t *testing.T) {
+	res := runFig(t, "abl-aco-iters", ablOpts())
+	_, ys := res.Series("aco")
+	if len(ys) < 3 {
+		t.Fatalf("too few points: %v", ys)
+	}
+	first, last := ys[0], ys[len(ys)-1]
+	if last > first {
+		t.Fatalf("more iterations should not worsen makespan: 1 iter %v vs max %v", first, last)
+	}
+}
+
+func TestAblationACOBetaHeuristicWins(t *testing.T) {
+	res := runFig(t, "abl-aco-beta", ablOpts())
+	_, ys := res.Series("aco")
+	// β=0.01 (pheromone-only) must be worse than β=0.99 (Table II).
+	if ys[len(ys)-1] >= ys[0] {
+		t.Fatalf("heuristic-heavy ACO (%v) should beat pheromone-heavy (%v)", ys[len(ys)-1], ys[0])
+	}
+}
+
+func TestAblationExtensionsRunAllSchedulers(t *testing.T) {
+	exp, err := Lookup("abl-extensions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(Options{Scale: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"aco", "base", "hbo", "rbs", "pso", "ga", "hybrid", "greedy", "minmin", "maxmin"}
+	for _, alg := range want {
+		if _, ys := res.Series(alg); len(ys) == 0 {
+			t.Fatalf("%s missing from extension comparison", alg)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bioschedsim/internal/stats"
+	"bioschedsim/internal/xrand"
+)
+
+// Comparison is a seed-replicated, per-point statistical comparison of two
+// algorithms on one experiment: does A beat B beyond seed noise?
+type Comparison struct {
+	ExperimentID string
+	Metric       string
+	AlgA, AlgB   string
+	Runs         int
+
+	X       []float64 // sweep positions
+	MeanA   []float64 // per-point mean of A over the replications
+	MeanB   []float64
+	TStat   []float64 // Welch's t per point (negative favours A)
+	Winner  []string  // "a", "b", or "tie" per point at the 2.0 threshold
+	Overall string    // majority winner across points
+}
+
+// Compare reruns the experiment `runs` times with derived seeds and tests,
+// at every sweep point, whether algA's metric is significantly below
+// algB's (Welch's t, threshold 2.0 — lower is better for every metric the
+// figures use except fairness/sla, which callers should invert).
+func Compare(exp *Experiment, algA, algB string, opts Options, runs int) (*Comparison, error) {
+	if runs < 2 {
+		return nil, fmt.Errorf("experiments: Compare needs at least 2 runs, got %d", runs)
+	}
+	if algA == algB {
+		return nil, fmt.Errorf("experiments: comparing %q against itself", algA)
+	}
+	opts = opts.normalized()
+	opts.Algorithms = []string{algA, algB}
+
+	var xs []float64
+	var samplesA, samplesB [][]float64
+	for r := 0; r < runs; r++ {
+		o := opts
+		o.Seed = xrand.Stream(opts.Seed, uint64(r)).Uint64()
+		res, err := exp.Run(o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replication %d: %w", r, err)
+		}
+		xA, yA := res.Series(algA)
+		_, yB := res.Series(algB)
+		if len(yA) != len(yB) || len(yA) == 0 {
+			return nil, fmt.Errorf("experiments: mismatched series for %s/%s", algA, algB)
+		}
+		if xs == nil {
+			xs = xA
+			samplesA = make([][]float64, len(xs))
+			samplesB = make([][]float64, len(xs))
+		}
+		if len(xA) != len(xs) {
+			return nil, fmt.Errorf("experiments: replication %d changed sweep shape", r)
+		}
+		for i := range yA {
+			samplesA[i] = append(samplesA[i], yA[i])
+			samplesB[i] = append(samplesB[i], yB[i])
+		}
+	}
+
+	cmp := &Comparison{
+		ExperimentID: exp.ID, Metric: exp.Metric, AlgA: algA, AlgB: algB, Runs: runs, X: xs,
+	}
+	winsA, winsB := 0, 0
+	for i := range xs {
+		sa, sb := stats.Summarize(samplesA[i]), stats.Summarize(samplesB[i])
+		cmp.MeanA = append(cmp.MeanA, sa.Mean)
+		cmp.MeanB = append(cmp.MeanB, sb.Mean)
+		t, _, err := stats.WelchT(samplesA[i], samplesB[i])
+		if err != nil {
+			// Zero-variance point (e.g. deterministic scheduler on both
+			// sides): decide on raw means.
+			t = 0
+			switch {
+			case sa.Mean < sb.Mean:
+				t = -99
+			case sa.Mean > sb.Mean:
+				t = 99
+			}
+		}
+		cmp.TStat = append(cmp.TStat, t)
+		switch {
+		case t < -2:
+			cmp.Winner = append(cmp.Winner, "a")
+			winsA++
+		case t > 2:
+			cmp.Winner = append(cmp.Winner, "b")
+			winsB++
+		default:
+			cmp.Winner = append(cmp.Winner, "tie")
+		}
+	}
+	switch {
+	case winsA > winsB:
+		cmp.Overall = algA
+	case winsB > winsA:
+		cmp.Overall = algB
+	default:
+		cmp.Overall = "tie"
+	}
+	return cmp, nil
+}

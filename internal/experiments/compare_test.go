@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestCompareACOvsBase(t *testing.T) {
+	exp, err := Lookup("fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(exp, "aco", "base", Options{Scale: 0.04, Seed: 42}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Overall != "aco" {
+		t.Fatalf("overall winner: %s (t=%v)", cmp.Overall, cmp.TStat)
+	}
+	if len(cmp.X) != len(cmp.MeanA) || len(cmp.X) != len(cmp.TStat) || len(cmp.X) != len(cmp.Winner) {
+		t.Fatalf("ragged comparison: %+v", cmp)
+	}
+	for i, w := range cmp.Winner {
+		switch w {
+		case "a", "b", "tie":
+		default:
+			t.Fatalf("bad winner %q at %d", w, i)
+		}
+	}
+}
+
+func TestCompareSymmetry(t *testing.T) {
+	exp, err := Lookup("fig6d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := Compare(exp, "hbo", "base", Options{Scale: 0.04, Seed: 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := Compare(exp, "base", "hbo", Options{Scale: 0.04, Seed: 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ab.TStat {
+		if ab.TStat[i] != -ba.TStat[i] {
+			t.Fatalf("t not antisymmetric at %d: %v vs %v", i, ab.TStat[i], ba.TStat[i])
+		}
+	}
+	// The winner is an algorithm name, so both argument orders must agree.
+	if ab.Overall != ba.Overall {
+		t.Fatalf("argument order changed the winner: %s vs %s", ab.Overall, ba.Overall)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	exp, err := Lookup("fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(exp, "aco", "base", Options{Scale: 0.02}, 1); err == nil {
+		t.Fatal("single run accepted")
+	}
+	if _, err := Compare(exp, "aco", "aco", Options{Scale: 0.02}, 2); err == nil {
+		t.Fatal("self-comparison accepted")
+	}
+	if _, err := Compare(exp, "nosuch", "base", Options{Scale: 0.02}, 2); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestCompareDeterministicPair(t *testing.T) {
+	// base vs rbs scheduling time on homogeneous: both near-deterministic in
+	// means; Compare must not error on low-variance samples.
+	exp, err := Lookup("fig4a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(exp, "base", "rbs", Options{Scale: 0.002, Seed: 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Winner) == 0 {
+		t.Fatal("empty comparison")
+	}
+}

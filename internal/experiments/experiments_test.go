@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/stats"
+)
+
+// hetOpts is a small-but-meaningful heterogeneous configuration: 200
+// cloudlets over 2–38 VMs.
+func hetOpts() Options {
+	return Options{Scale: 0.04, Seed: 42, Repeats: 1}
+}
+
+func runFig(t *testing.T, id string, opts Options) *Result {
+	t.Helper()
+	exp, err := Lookup(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatalf("%s: no points", id)
+	}
+	return res
+}
+
+// mean of the series y values.
+func meanY(res *Result, alg string) float64 {
+	_, ys := res.Series(alg)
+	return stats.Summarize(ys).Mean
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig6c", "fig6c-count", "fig6d"}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %s not registered (have %v)", id, IDs())
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestFig4aSimulationTimeDecreasesAndConverges(t *testing.T) {
+	res := runFig(t, "fig4a", Options{Scale: 0.002, Seed: 1})
+	for _, alg := range PaperAlgorithms {
+		xs, ys := res.Series(alg)
+		slope, err := stats.Slope(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slope >= 0 {
+			t.Fatalf("%s: simulation time does not decrease with VMs (slope %v)", alg, slope)
+		}
+	}
+	// Homogeneous convergence: every algorithm within 10% of the base test
+	// at every point (the paper's "behave closely to the Base test").
+	for _, p := range res.Points {
+		base := ExtractMetric(p.Reports["base"], "sim_ms")
+		for _, alg := range PaperAlgorithms {
+			v := ExtractMetric(p.Reports[alg], "sim_ms")
+			if v > base*1.10+1e-9 {
+				t.Fatalf("%s at vms=%v: %v more than 10%% above base %v", alg, p.X, v, base)
+			}
+		}
+	}
+}
+
+func TestFig5SchedulingTimeBaseCheapest(t *testing.T) {
+	res := runFig(t, "fig5a", Options{Scale: 0.002, Seed: 1})
+	for _, p := range res.Points {
+		base := p.Reports["base"].SchedulingTime
+		aco := p.Reports["aco"].SchedulingTime
+		if aco <= base {
+			t.Fatalf("vms=%v: ACO scheduling time %v not above base %v", p.X, aco, base)
+		}
+	}
+	if meanY(res, "aco") <= meanY(res, "base") {
+		t.Fatal("mean ACO scheduling time not above base")
+	}
+}
+
+func TestFig6aACOBestHBOBeatsBase(t *testing.T) {
+	res := runFig(t, "fig6a", hetOpts())
+	acoMean, baseMean, hboMean, rbsMean := meanY(res, "aco"), meanY(res, "base"), meanY(res, "hbo"), meanY(res, "rbs")
+	if acoMean >= baseMean {
+		t.Fatalf("ACO mean sim time %v not below base %v", acoMean, baseMean)
+	}
+	if hboMean >= baseMean {
+		t.Fatalf("HBO mean sim time %v not below base %v", hboMean, baseMean)
+	}
+	if acoMean >= hboMean*1.1 {
+		t.Fatalf("ACO (%v) should be at least competitive with HBO (%v)", acoMean, hboMean)
+	}
+	// RBS tracks the base test (±25% on the mean).
+	if rbsMean > baseMean*1.25 || rbsMean < baseMean*0.55 {
+		t.Fatalf("RBS mean %v strays too far from base %v", rbsMean, baseMean)
+	}
+}
+
+func TestFig6bSchedulingTimeOrdering(t *testing.T) {
+	res := runFig(t, "fig6b", hetOpts())
+	base, rbs, hbo, aco := meanY(res, "base"), meanY(res, "rbs"), meanY(res, "hbo"), meanY(res, "aco")
+	if !(base <= rbs*1.5+1e-6) { // base and rbs are both near-zero
+		t.Fatalf("base %v not cheapest (rbs %v)", base, rbs)
+	}
+	if !(hbo < aco) {
+		t.Fatalf("ordering violated: hbo %v should be below aco %v", hbo, aco)
+	}
+	if !(rbs < aco) {
+		t.Fatalf("ordering violated: rbs %v should be below aco %v", rbs, aco)
+	}
+}
+
+func TestFig6cCountImbalanceOrdering(t *testing.T) {
+	res := runFig(t, "fig6c-count", hetOpts())
+	base, rbs, hbo, aco := meanY(res, "base"), meanY(res, "rbs"), meanY(res, "hbo"), meanY(res, "aco")
+	// The paper's §VI-D2 ordering: base best, RBS second, then HBO, ACO worst.
+	if base > rbs+1e-9 {
+		t.Fatalf("base count imbalance %v above rbs %v", base, rbs)
+	}
+	if rbs >= hbo {
+		t.Fatalf("rbs %v not below hbo %v", rbs, hbo)
+	}
+	// ACO and HBO are both far less count-balanced than base/RBS; their
+	// relative order fluctuates with fleet size (see EXPERIMENTS.md).
+	if aco <= rbs || hbo <= rbs {
+		t.Fatalf("aco %v and hbo %v should both exceed rbs %v", aco, hbo, rbs)
+	}
+	if aco <= base {
+		t.Fatalf("aco %v should be far more count-imbalanced than base %v", aco, base)
+	}
+}
+
+func TestFig6dHBOCheapest(t *testing.T) {
+	res := runFig(t, "fig6d", hetOpts())
+	hboMean := meanY(res, "hbo")
+	for _, alg := range []string{"aco", "base", "rbs"} {
+		if hboMean >= meanY(res, alg) {
+			t.Fatalf("HBO mean cost %v not below %s %v", hboMean, alg, meanY(res, alg))
+		}
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	opts1 := Options{Scale: 0.02, Seed: 7, Workers: 1, Algorithms: []string{"aco", "rbs"}}
+	optsN := Options{Scale: 0.02, Seed: 7, Workers: 8, Algorithms: []string{"aco", "rbs"}}
+	a := runFig(t, "fig6a", opts1)
+	b := runFig(t, "fig6a", optsN)
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		for _, alg := range []string{"aco", "rbs"} {
+			av := a.Points[i].Reports[alg].SimTime
+			bv := b.Points[i].Reports[alg].SimTime
+			if av != bv {
+				t.Fatalf("point %d %s: %v vs %v across worker counts", i, alg, av, bv)
+			}
+		}
+	}
+}
+
+func TestRepeatsAveraging(t *testing.T) {
+	opts := Options{Scale: 0.02, Seed: 3, Repeats: 3, Algorithms: []string{"rbs"}}
+	res := runFig(t, "fig6a", opts)
+	for _, p := range res.Points {
+		if p.Reports["rbs"].SimTime <= 0 {
+			t.Fatalf("averaged report empty at vms=%v", p.X)
+		}
+	}
+}
+
+func TestSeriesAndExtract(t *testing.T) {
+	res := runFig(t, "fig6d", Options{Scale: 0.02, Seed: 5, Algorithms: []string{"base"}})
+	xs, ys := res.Series("base")
+	if len(xs) != len(res.Points) || len(ys) != len(xs) {
+		t.Fatalf("series lengths: %d %d", len(xs), len(ys))
+	}
+	if xs2, _ := res.Series("absent"); len(xs2) != 0 {
+		t.Fatal("absent algorithm should give empty series")
+	}
+	rep := metrics.Report{SimTime: 2, SchedulingTime: time.Hour, Imbalance: 3, CountImbalance: 4, Cost: 5, Fairness: 6, SLACompliance: 0.5, EnergyJoules: 9, MeanExec: 7, MeanWait: 8}
+	cases := map[string]float64{
+		"sim_ms": 2000, "sched_h": 1, "sched_s": 3600,
+		"imbalance": 3, "imbalance_count": 4, "cost": 5, "fairness": 6,
+		"sla": 0.5, "energy_j": 9, "mean_exec_s": 7, "mean_wait_s": 8,
+	}
+	for key, want := range cases {
+		if got := ExtractMetric(rep, key); got != want {
+			t.Fatalf("%s: got %v want %v", key, got, want)
+		}
+	}
+	for _, key := range MetricKeys() {
+		ExtractMetric(rep, key) // must not panic
+	}
+}
+
+func TestExtractMetricUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ExtractMetric(metrics.Report{}, "bogus")
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.normalized()
+	if o.Scale != 1 || o.Workers <= 0 || o.Repeats != 1 || len(o.Algorithms) != len(PaperAlgorithms) {
+		t.Fatalf("normalized: %+v", o)
+	}
+}
+
+func TestVMCountGenerators(t *testing.T) {
+	if got := Fig4aVMCounts(); len(got) != 9 || got[0] != 1000 || got[8] != 9000 {
+		t.Fatalf("fig4a counts: %v", got)
+	}
+	if got := Fig4bVMCounts(); len(got) != 5 || got[0] != 10000 || got[4] != 90000 {
+		t.Fatalf("fig4b counts: %v", got)
+	}
+	if got := Fig6VMCounts(); len(got) != 10 || got[0] != 50 || got[9] != 950 {
+		t.Fatalf("fig6 counts: %v", got)
+	}
+}
+
+func TestScaleCountFloors(t *testing.T) {
+	if scaleCount(1000, 0.0001, 2) != 2 {
+		t.Fatal("floor not applied")
+	}
+	if scaleCount(1000, 0.5, 2) != 500 {
+		t.Fatal("scaling wrong")
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExtOnlineRegisteredAndRuns(t *testing.T) {
+	exp, err := Lookup("ext-online")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(Options{Scale: 0.02, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points: %d", len(res.Points))
+	}
+	for _, name := range []string{"online-rr", "online-least", "online-eft", "online-aco", "online-hbo", "online-rbs"} {
+		xs, ys := res.Series(name)
+		if len(xs) != 6 {
+			t.Fatalf("%s: series length %d", name, len(xs))
+		}
+		for i, y := range ys {
+			if y <= 0 {
+				t.Fatalf("%s: non-positive response at x=%v", name, xs[i])
+			}
+		}
+	}
+}
+
+func TestExtOnlineResponseGrowsWithLoad(t *testing.T) {
+	exp, err := Lookup("ext-online")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(Options{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"online-rr", "online-least"} {
+		_, ys := res.Series(name)
+		if ys[len(ys)-1] <= ys[0] {
+			t.Fatalf("%s: response did not grow with load: %v", name, ys)
+		}
+	}
+}
+
+func TestExtSLARegisteredAndMonotone(t *testing.T) {
+	exp, err := Lookup("ext-sla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(Options{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compliance must (weakly) improve with slack for every algorithm and
+	// reach 1.0 at the loosest setting.
+	for _, name := range []string{"deadline", "aco", "base", "hbo", "rbs"} {
+		_, ys := res.Series(name)
+		if len(ys) == 0 {
+			t.Fatalf("%s missing", name)
+		}
+		for i := 1; i < len(ys); i++ {
+			if ys[i] < ys[i-1]-0.15 {
+				t.Fatalf("%s: compliance fell sharply with more slack: %v", name, ys)
+			}
+		}
+		if ys[len(ys)-1] < 0.99 {
+			t.Fatalf("%s: not compliant at 64x slack: %v", name, ys[len(ys)-1])
+		}
+	}
+}
+
+func TestExtEnergyFollowsMakespan(t *testing.T) {
+	exp, err := Lookup("ext-energy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(Options{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy must be positive everywhere, and ACO (fastest completion,
+	// shortest idle horizon) must use less than the base test on average.
+	sum := map[string]float64{}
+	for _, alg := range PaperAlgorithms {
+		_, ys := res.Series(alg)
+		for _, y := range ys {
+			if y <= 0 {
+				t.Fatalf("%s: non-positive energy %v", alg, y)
+			}
+			sum[alg] += y
+		}
+	}
+	if sum["aco"] >= sum["base"] {
+		t.Fatalf("ACO energy %v not below base %v", sum["aco"], sum["base"])
+	}
+}
+
+func TestExtElasticAutoscalerHelpsAndBootDelayHurts(t *testing.T) {
+	exp, err := Lookup("ext-elastic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(Options{Scale: 0.1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, elastic := res.Series("elastic")
+	_, static := res.Series("static")
+	if len(elastic) != 5 || len(static) != 5 {
+		t.Fatalf("series lengths: %d/%d", len(elastic), len(static))
+	}
+	// Static is boot-delay-independent; elastic must beat it at every point.
+	for i := range elastic {
+		if elastic[i] >= static[i] {
+			t.Fatalf("point %d: autoscaled %v not below static %v", i, elastic[i], static[i])
+		}
+		if static[i] != static[0] {
+			t.Fatalf("static makespan varied with boot delay: %v", static)
+		}
+	}
+	// Longer boots erode the benefit.
+	if elastic[len(elastic)-1] <= elastic[0] {
+		t.Fatalf("120s boot (%v) should be worse than instant (%v)", elastic[len(elastic)-1], elastic[0])
+	}
+}
+
+func TestExtSLADeadlineSchedulerWinsSensitiveRegion(t *testing.T) {
+	exp, err := Lookup("ext-sla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(Options{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the 16x slack point the deadline-aware scheduler must beat the
+	// cost-driven HBO, which ignores deadlines entirely.
+	var deadline16, hbo16 float64
+	for _, p := range res.Points {
+		if p.X == 16 {
+			deadline16 = ExtractMetric(p.Reports["deadline"], "sla")
+			hbo16 = ExtractMetric(p.Reports["hbo"], "sla")
+		}
+	}
+	if deadline16 <= hbo16 {
+		t.Fatalf("deadline scheduler (%v) not above HBO (%v) at 16x slack", deadline16, hbo16)
+	}
+}

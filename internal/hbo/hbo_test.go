@@ -1,0 +1,279 @@
+package hbo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/schedtest"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Groups != 2 {
+		t.Fatalf("Groups: %d want 2", cfg.Groups)
+	}
+	if cfg.FacLB != 0 {
+		t.Fatalf("FacLB: %v want 0 (fair share)", cfg.FacLB)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{Groups: -1}).Validate() == nil {
+		t.Fatal("negative groups accepted")
+	}
+	if (Config{Groups: 2, FacLB: -0.5}).Validate() == nil {
+		t.Fatal("negative facLB accepted")
+	}
+	if err := (Config{Groups: 4, FacLB: 3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDefaultsGroups(t *testing.T) {
+	if New(Config{}).Config().Groups != 2 {
+		t.Fatal("zero Groups not defaulted")
+	}
+	if New(Config{Groups: 5}).Config().Groups != 5 {
+		t.Fatal("explicit Groups overridden")
+	}
+}
+
+func TestScheduleValid(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 12, 100, 1)
+	got, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateAssignments(ctx, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHBOCheaperThanRoundRobin(t *testing.T) {
+	// The core claim of Fig. 6d: HBO's cost-driven foraging beats
+	// cost-oblivious cyclic assignment.
+	ctx := schedtest.Heterogeneous(t, 20, 300, 7)
+	hboAs, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrAs, _ := sched.NewRoundRobin().Schedule(ctx)
+	if schedtest.TotalCost(hboAs) >= schedtest.TotalCost(rrAs) {
+		t.Fatalf("HBO cost %v not below round-robin %v",
+			schedtest.TotalCost(hboAs), schedtest.TotalCost(rrAs))
+	}
+}
+
+func TestHBOPrefersCheapDatacenterUnderCapacity(t *testing.T) {
+	// With facLB large enough to avoid spilling, everything goes to the
+	// cheap datacenter.
+	ctx := schedtest.Heterogeneous(t, 10, 20, 3)
+	got, err := New(Config{Groups: 2, FacLB: 1e9}).Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range got {
+		if a.VM.Datacenter().Name != "cheap" {
+			t.Fatalf("cloudlet %d routed to %s", a.Cloudlet.ID, a.VM.Datacenter().Name)
+		}
+	}
+}
+
+func TestHBODefaultFillsCheapDatacenterFirst(t *testing.T) {
+	// Under the default fair-share facLB the cheap datacenter absorbs its
+	// full share before anything spills to the pricey one, so with
+	// unsaturating load everything lands cheap.
+	ctx := schedtest.Heterogeneous(t, 10, 200, 3)
+	got, err := New(Config{Groups: 2, FacLB: 40}).Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range got {
+		if a.VM.Datacenter().Name != "cheap" {
+			t.Fatalf("cloudlet %d escaped to %s below saturation", a.Cloudlet.ID, a.VM.Datacenter().Name)
+		}
+	}
+}
+
+func TestHBOFacLBSpillsToOtherDatacenters(t *testing.T) {
+	// A fair-share facLB saturates the cheap datacenter halfway through the
+	// batch and must spill the remainder onto the pricey one.
+	ctx := schedtest.Heterogeneous(t, 10, 200, 3)
+	got, err := Default().Schedule(ctx) // default facLB is the fair share
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDC := map[string]int{}
+	for _, a := range got {
+		byDC[a.VM.Datacenter().Name]++
+	}
+	if byDC["pricey"] == 0 {
+		t.Fatal("facLB never spilled to the second datacenter")
+	}
+	if byDC["cheap"] < byDC["pricey"] {
+		t.Fatalf("cheap DC should get at least half: %v", byDC)
+	}
+}
+
+func TestHBOLongestCloudletsGoCheapest(t *testing.T) {
+	// Algorithm 1's max() extraction sends long work to cheap datacenters
+	// first: under a fair-share facLB the mean length routed cheap must
+	// exceed the mean length routed pricey.
+	ctx := schedtest.Heterogeneous(t, 10, 300, 13)
+	got, err := New(Config{Groups: 2, FacLB: 30}).Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := map[string]float64{}
+	n := map[string]float64{}
+	for _, a := range got {
+		name := a.VM.Datacenter().Name
+		sum[name] += a.Cloudlet.Length
+		n[name]++
+	}
+	if n["pricey"] == 0 {
+		t.Fatal("no spill to pricey DC")
+	}
+	if sum["cheap"]/n["cheap"] <= sum["pricey"]/n["pricey"] {
+		t.Fatalf("cheap DC mean length %v not above pricey %v",
+			sum["cheap"]/n["cheap"], sum["pricey"]/n["pricey"])
+	}
+}
+
+func TestHBOLeastLoadedWithinDatacenter(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 8, 160, 11)
+	got, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, a := range got {
+		counts[a.VM.ID]++
+	}
+	// Fair-share spill plus least-loaded booking must touch every VM.
+	if len(counts) != 8 {
+		t.Fatalf("only %d of 8 VMs used", len(counts))
+	}
+}
+
+func TestHBOAssignmentOrderMatchesInput(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 6, 30, 5)
+	got, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range got {
+		if a.Cloudlet != ctx.Cloudlets[i] {
+			t.Fatalf("assignment %d out of input order", i)
+		}
+	}
+}
+
+func TestHBOWorksWithoutDatacenters(t *testing.T) {
+	// VMs never placed on hosts: HBO degrades to a single anonymous group.
+	vms := []*cloud.VM{
+		cloud.NewVM(0, 1000, 1, 512, 500, 5000),
+		cloud.NewVM(1, 2000, 1, 512, 500, 5000),
+	}
+	cls := []*cloud.Cloudlet{
+		cloud.NewCloudlet(0, 1000, 1, 300, 300),
+		cloud.NewCloudlet(1, 2000, 1, 300, 300),
+		cloud.NewCloudlet(2, 3000, 1, 300, 300),
+	}
+	ctx := &sched.Context{Cloudlets: cls, VMs: vms}
+	got, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateAssignments(ctx, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHBOSingleGroupAndManyGroups(t *testing.T) {
+	for _, q := range []int{1, 3, 7, 100} {
+		ctx := schedtest.Heterogeneous(t, 9, 45, int64(q))
+		got, err := New(Config{Groups: q}).Schedule(ctx)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if err := sched.ValidateAssignments(ctx, got); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+	}
+}
+
+func TestHBOTightFacLBStillTerminates(t *testing.T) {
+	// facLB below fair share saturates every datacenter; the scheduler must
+	// still assign everything via the least-filled fallback.
+	ctx := schedtest.Heterogeneous(t, 4, 100, 2)
+	got, err := New(Config{Groups: 2, FacLB: 0.5}).Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateAssignments(ctx, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDividePartitions(t *testing.T) {
+	cls := make([]*cloud.Cloudlet, 10)
+	for i := range cls {
+		cls[i] = cloud.NewCloudlet(i, 100, 1, 0, 0)
+	}
+	groups := divide(cls, 3)
+	if len(groups) != 3 {
+		t.Fatalf("groups: %d", len(groups))
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != 10 {
+		t.Fatalf("partition lost cloudlets: %d", total)
+	}
+	// More groups than cloudlets clamps.
+	if got := divide(cls[:2], 5); len(got) != 2 {
+		t.Fatalf("clamp failed: %d groups", len(got))
+	}
+}
+
+func TestRegisteredInSchedRegistry(t *testing.T) {
+	s, err := sched.New("hbo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "hbo" {
+		t.Fatalf("name: %s", s.Name())
+	}
+}
+
+func TestSchedulePropertyValid(t *testing.T) {
+	f := func(seed int64, vmN, clN, q uint8) bool {
+		nVMs := 1 + int(vmN)%10
+		nCls := 1 + int(clN)%50
+		groups := 1 + int(q)%5
+		ctx := schedtest.Heterogeneous(t, nVMs, nCls, seed)
+		got, err := New(Config{Groups: groups}).Schedule(ctx)
+		if err != nil {
+			return false
+		}
+		return sched.ValidateAssignments(ctx, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTableI_HBOCost(b *testing.B) {
+	ctx := schedtest.Heterogeneous(b, 50, 1000, 1)
+	s := Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package hybrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/schedtest"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{Objective: "bogus", PriceSpread: 2, SpeedSpread: 2}).Validate() == nil {
+		t.Fatal("bogus objective accepted")
+	}
+	if (Config{Objective: Auto, PriceSpread: 0.5, SpeedSpread: 2}).Validate() == nil {
+		t.Fatal("sub-1 spread accepted")
+	}
+}
+
+func TestPinnedObjectives(t *testing.T) {
+	cases := map[Objective]string{Speed: "aco", Money: "hbo", Balance: "rbs"}
+	for obj, want := range cases {
+		s := New(Config{Objective: obj})
+		ctx := schedtest.Heterogeneous(t, 6, 30, 5)
+		got, err := s.Schedule(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", obj, err)
+		}
+		if err := sched.ValidateAssignments(ctx, got); err != nil {
+			t.Fatalf("%s: %v", obj, err)
+		}
+		if s.LastChoice() != want {
+			t.Fatalf("objective %s chose %s, want %s", obj, s.LastChoice(), want)
+		}
+	}
+}
+
+func TestAutoPicksCostOnWidePriceSpread(t *testing.T) {
+	// schedtest.Heterogeneous has a ~4-5x price spread between datacenters.
+	s := Default()
+	ctx := schedtest.Heterogeneous(t, 8, 40, 3)
+	if _, err := s.Schedule(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastChoice() != "hbo" {
+		t.Fatalf("auto on price-spread environment chose %s, want hbo", s.LastChoice())
+	}
+}
+
+func TestAutoPicksBalanceOnHomogeneousPlant(t *testing.T) {
+	s := Default()
+	ctx := schedtest.Homogeneous(t, 8, 40, 3)
+	if _, err := s.Schedule(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastChoice() != "rbs" {
+		t.Fatalf("auto on homogeneous plant chose %s, want rbs", s.LastChoice())
+	}
+}
+
+func TestAutoPicksSpeedOnFastSpreadUniformPrices(t *testing.T) {
+	// Build a plant with uniform prices but an 8x VM speed spread.
+	hosts := []*cloud.Host{cloud.NewHost(0, cloud.NewPEs(32, 4000), 1<<24, 1<<24, 1<<36)}
+	cloud.NewDatacenter(0, "dc", cloud.Characteristics{
+		CostPerMemory: 0.05, CostPerStorage: 0.004, CostPerBandwidth: 0.05, CostPerProcessing: 3,
+	}, hosts)
+	vms := []*cloud.VM{
+		cloud.NewVM(0, 500, 1, 512, 500, 5000),
+		cloud.NewVM(1, 4000, 1, 512, 500, 5000),
+	}
+	for _, vm := range vms {
+		if err := hosts[0].Place(vm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cls := []*cloud.Cloudlet{
+		cloud.NewCloudlet(0, 1000, 1, 300, 300),
+		cloud.NewCloudlet(1, 2000, 1, 300, 300),
+		cloud.NewCloudlet(2, 3000, 1, 300, 300),
+	}
+	ctx := &sched.Context{Cloudlets: cls, VMs: vms, Rand: rand.New(rand.NewSource(1))}
+	s := Default()
+	if _, err := s.Schedule(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastChoice() != "aco" {
+		t.Fatalf("auto on speed-spread plant chose %s, want aco", s.LastChoice())
+	}
+}
+
+func TestHybridMatchesDelegateQuality(t *testing.T) {
+	// Pinned-cost hybrid must produce the same total cost as plain HBO.
+	hy := New(Config{Objective: Money})
+	hyAs, err := hy.Schedule(schedtest.Heterogeneous(t, 10, 80, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sched.New("hbo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dAs, err := direct.Schedule(schedtest.Heterogeneous(t, 10, 80, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedtest.TotalCost(hyAs) != schedtest.TotalCost(dAs) {
+		t.Fatalf("hybrid cost %v differs from HBO %v", schedtest.TotalCost(hyAs), schedtest.TotalCost(dAs))
+	}
+}
+
+func TestLastChoiceEmptyBeforeUse(t *testing.T) {
+	if Default().LastChoice() != "" {
+		t.Fatal("LastChoice should be empty before scheduling")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.Config().Objective != Auto || s.Config().PriceSpread != 2 || s.Config().SpeedSpread != 2 {
+		t.Fatalf("defaults: %+v", s.Config())
+	}
+}
+
+func TestHybridInvalidConfigSurfaces(t *testing.T) {
+	s := New(Config{Objective: "bogus"})
+	if _, err := s.Schedule(schedtest.Heterogeneous(t, 4, 8, 1)); err == nil {
+		t.Fatal("bogus objective accepted at schedule time")
+	}
+}
+
+func TestHybridContextValidation(t *testing.T) {
+	if _, err := Default().Schedule(&sched.Context{}); err == nil {
+		t.Fatal("empty context accepted")
+	}
+}
+
+func TestHybridZeroPriceFleetFallsThrough(t *testing.T) {
+	// VMs without datacenters have no price information: classify must skip
+	// the cost branch and use the speed spread instead.
+	vms := []*cloud.VM{
+		cloud.NewVM(0, 500, 1, 512, 500, 5000),
+		cloud.NewVM(1, 4000, 1, 512, 500, 5000),
+	}
+	cls := []*cloud.Cloudlet{cloud.NewCloudlet(0, 1000, 1, 0, 0)}
+	ctx := &sched.Context{Cloudlets: cls, VMs: vms, Rand: rand.New(rand.NewSource(1))}
+	s := Default()
+	if _, err := s.Schedule(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastChoice() != "aco" {
+		t.Fatalf("priceless fast-spread plant chose %s, want aco", s.LastChoice())
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	s, err := sched.New("hybrid")
+	if err != nil || s.Name() != "hybrid" {
+		t.Fatalf("registry: %v %v", s, err)
+	}
+}

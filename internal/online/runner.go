@@ -1,0 +1,87 @@
+package online
+
+import (
+	"fmt"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/sim"
+)
+
+// Result summarizes an online run.
+type Result struct {
+	Finished     []*cloud.Cloudlet
+	MeanResponse sim.Time // mean (finish − arrival) across cloudlets
+	MeanWait     sim.Time // mean (start − arrival)
+	SimTime      sim.Time // Eq. 12 over the run
+	Imbalance    float64  // Eq. 13
+	Cost         float64
+	EngineEvents uint64
+}
+
+// Run drives cloudlets through env with per-arrival placement: cloudlet i
+// arrives at arrivals[i] seconds, scheduler.Place picks its VM using only
+// the fleet's state at that instant, and completion feedback reaches
+// schedulers implementing Feedback. The cloudlets must be fresh (created
+// state); arrivals must be non-negative and len(arrivals)==len(cloudlets).
+func Run(env *cloud.Environment, scheduler Scheduler, cloudlets []*cloud.Cloudlet, arrivals []float64, factory cloud.SchedulerFactory) (*Result, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cloudlets) == 0 {
+		return nil, fmt.Errorf("online: empty cloudlet batch")
+	}
+	if len(arrivals) != len(cloudlets) {
+		return nil, fmt.Errorf("online: %d arrivals for %d cloudlets", len(arrivals), len(cloudlets))
+	}
+	eng := sim.NewEngine()
+	broker := cloud.NewBroker(eng, env, factory)
+
+	learner, _ := scheduler.(Feedback)
+	if learner != nil {
+		broker.OnFinish(func(c *cloud.Cloudlet) {
+			learner.Completed(c, c.ExecTime())
+		})
+	}
+
+	var placeErr error
+	for i, c := range cloudlets {
+		if arrivals[i] < 0 {
+			return nil, fmt.Errorf("online: negative arrival %v at index %d", arrivals[i], i)
+		}
+		c := c
+		eng.ScheduleAt(arrivals[i], sim.PriorityAcquire, func() {
+			if placeErr != nil {
+				return
+			}
+			vm, err := scheduler.Place(c, env.VMs)
+			if err != nil {
+				placeErr = fmt.Errorf("online: placing cloudlet %d: %w", c.ID, err)
+				eng.Stop()
+				return
+			}
+			broker.Submit(c, vm)
+		})
+	}
+	eng.Run()
+	if placeErr != nil {
+		return nil, placeErr
+	}
+	finished := broker.Finished()
+	if len(finished) != len(cloudlets) {
+		return nil, fmt.Errorf("online: %d of %d cloudlets unfinished", len(cloudlets)-len(finished), len(cloudlets))
+	}
+
+	res := &Result{Finished: finished, EngineEvents: eng.Fired()}
+	res.SimTime = metrics.SimulationTime(finished)
+	res.Imbalance = metrics.TimeImbalance(finished)
+	res.Cost = metrics.ProcessingCost(finished)
+	var resp, wait sim.Time
+	for i, c := range cloudlets {
+		resp += c.FinishTime - sim.Time(arrivals[i])
+		wait += c.StartTime - sim.Time(arrivals[i])
+	}
+	res.MeanResponse = resp / sim.Time(len(cloudlets))
+	res.MeanWait = wait / sim.Time(len(cloudlets))
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package pso
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/schedtest"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Particles: 0, Iterations: 1, W: .1, C1: .1, C2: .1},
+		{Particles: 1, Iterations: 0, W: .1, C1: .1, C2: .1},
+		{Particles: 1, Iterations: 1, W: -.1, C1: .1, C2: .1},
+		{Particles: 1, Iterations: 1, W: .5, C1: .4, C2: .2}, // sums > 1
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if Makespan.String() != "makespan" || Cost.String() != "cost" || Combined.String() != "combined" {
+		t.Fatal("objective strings wrong")
+	}
+	if Objective(9).String() != "Objective(9)" {
+		t.Fatal("unknown objective string wrong")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	s := New(Config{})
+	if s.Config().Particles != 30 || s.Config().Iterations != 50 {
+		t.Fatalf("defaults: %+v", s.Config())
+	}
+	if s.Config().W != 0.4 {
+		t.Fatalf("W default: %v", s.Config().W)
+	}
+}
+
+func TestScheduleValidAndDeterministic(t *testing.T) {
+	mk := func() []sched.Assignment {
+		ctx := schedtest.Heterogeneous(t, 8, 60, 11)
+		got, err := New(Config{Particles: 10, Iterations: 10}).Schedule(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.ValidateAssignments(ctx, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].VM.ID != b[i].VM.ID {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestMakespanObjectiveBeatsRandom(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 10, 120, 5)
+	psoAs, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := schedtest.Heterogeneous(t, 10, 120, 5)
+	randAs, err := sched.NewRandom().Schedule(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.EstimatedMakespan(psoAs) >= sched.EstimatedMakespan(randAs) {
+		t.Fatalf("PSO makespan %v not below random %v",
+			sched.EstimatedMakespan(psoAs), sched.EstimatedMakespan(randAs))
+	}
+}
+
+func TestCostObjectiveCheaperThanMakespanObjective(t *testing.T) {
+	ctxA := schedtest.Heterogeneous(t, 10, 120, 9)
+	costAs, err := New(Config{Particles: 20, Iterations: 30, W: .4, C1: .3, C2: .2, Objective: Cost}).Schedule(ctxA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxB := schedtest.Heterogeneous(t, 10, 120, 9)
+	timeAs, err := New(Config{Particles: 20, Iterations: 30, W: .4, C1: .3, C2: .2, Objective: Makespan}).Schedule(ctxB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedtest.TotalCost(costAs) >= schedtest.TotalCost(timeAs) {
+		t.Fatalf("cost objective %v not cheaper than makespan objective %v",
+			schedtest.TotalCost(costAs), schedtest.TotalCost(timeAs))
+	}
+}
+
+func TestCombinedObjectiveValid(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 6, 40, 3)
+	got, err := New(Config{Particles: 8, Iterations: 10, W: .4, C1: .3, C2: .2, Objective: Combined}).Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateAssignments(ctx, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiresRand(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 4, 8, 1)
+	ctx.Rand = nil
+	if _, err := Default().Schedule(ctx); err == nil {
+		t.Fatal("expected error without ctx.Rand")
+	}
+}
+
+func TestRegistered(t *testing.T) {
+	s, err := sched.New("pso")
+	if err != nil || s.Name() != "pso" {
+		t.Fatalf("registry: %v %v", s, err)
+	}
+}
+
+func TestPropertyValid(t *testing.T) {
+	f := func(seed int64, vmN, clN uint8) bool {
+		ctx := schedtest.Heterogeneous(t, 1+int(vmN)%8, 1+int(clN)%40, seed)
+		got, err := New(Config{Particles: 5, Iterations: 5}).Schedule(ctx)
+		if err != nil {
+			return false
+		}
+		return sched.ValidateAssignments(ctx, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

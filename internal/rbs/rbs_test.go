@@ -1,0 +1,215 @@
+package rbs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/schedtest"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	if DefaultConfig().Groups != 2 {
+		t.Fatalf("Groups: %d want 2", DefaultConfig().Groups)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if (Config{Groups: -1}).Validate() == nil {
+		t.Fatal("negative groups accepted")
+	}
+	if err := (Config{Groups: 3}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	if New(Config{}).Config().Groups != 2 {
+		t.Fatal("zero Groups not defaulted")
+	}
+	if New(Config{Groups: 9}).Config().Groups != 9 {
+		t.Fatal("explicit Groups overridden")
+	}
+}
+
+func TestScheduleValid(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 10, 100, 1)
+	got, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateAssignments(ctx, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	mk := func() []sched.Assignment {
+		ctx := schedtest.Heterogeneous(t, 8, 64, 3)
+		got, err := Default().Schedule(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].VM.ID != b[i].VM.ID {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestRBSBalancesCounts(t *testing.T) {
+	// NID rounds keep per-VM counts within a tight band of the fair share.
+	ctx := schedtest.Homogeneous(t, 10, 400, 5)
+	got, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, a := range got {
+		counts[a.VM.ID]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("only %d of 10 VMs used", len(counts))
+	}
+	fair := 40.0
+	for id, n := range counts {
+		if math.Abs(float64(n)-fair) > fair {
+			t.Fatalf("VM %d count %d too far from fair share %v", id, n, fair)
+		}
+	}
+}
+
+func TestRBSMoreBalancedThanRandom(t *testing.T) {
+	ctx := schedtest.Homogeneous(t, 10, 500, 9)
+	rbsAs, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := schedtest.Homogeneous(t, 10, 500, 9)
+	randAs, err := sched.NewRandom().Schedule(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(as []sched.Assignment) float64 {
+		counts := map[int]int{}
+		for _, a := range as {
+			counts[a.VM.ID]++
+		}
+		min, max := 1<<30, 0
+		for _, n := range counts {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		return float64(max - min)
+	}
+	if spread(rbsAs) > spread(randAs) {
+		t.Fatalf("RBS spread %v worse than random %v", spread(rbsAs), spread(randAs))
+	}
+}
+
+func TestRBSGroupsClampedToFleet(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 3, 12, 2)
+	got, err := New(Config{Groups: 50}).Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateAssignments(ctx, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBSSingleVM(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 1, 8, 4)
+	got, err := Default().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range got {
+		if a.VM != ctx.VMs[0] {
+			t.Fatal("single VM must take everything")
+		}
+	}
+}
+
+func TestRBSRequiresRand(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 4, 8, 1)
+	ctx.Rand = nil
+	if _, err := Default().Schedule(ctx); err == nil {
+		t.Fatal("expected error without ctx.Rand")
+	}
+}
+
+func TestRBSConfigErrorSurfacesAtSchedule(t *testing.T) {
+	ctx := schedtest.Heterogeneous(t, 4, 8, 1)
+	s := &Scheduler{cfg: Config{Groups: -3}}
+	if _, err := s.Schedule(ctx); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRBSWalkExhaustionFallback(t *testing.T) {
+	// Tiny fleet with many groups forces frequent NID exhaustion and the
+	// fallback path where ω exceeds every threshold; everything must still
+	// be assigned exactly once.
+	ctx := schedtest.Heterogeneous(t, 4, 200, 31)
+	got, err := New(Config{Groups: 4}).Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateAssignments(ctx, got); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, a := range got {
+		counts[a.VM.ID]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("not all VMs used: %v", counts)
+	}
+}
+
+func TestRegisteredInSchedRegistry(t *testing.T) {
+	s, err := sched.New("rbs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "rbs" {
+		t.Fatalf("name: %s", s.Name())
+	}
+}
+
+func TestSchedulePropertyValid(t *testing.T) {
+	f := func(seed int64, vmN, clN, q uint8) bool {
+		nVMs := 1 + int(vmN)%12
+		nCls := 1 + int(clN)%80
+		groups := 1 + int(q)%6
+		ctx := schedtest.Heterogeneous(t, nVMs, nCls, seed)
+		got, err := New(Config{Groups: groups}).Schedule(ctx)
+		if err != nil {
+			return false
+		}
+		return sched.ValidateAssignments(ctx, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRBSSchedule(b *testing.B) {
+	ctx := schedtest.Heterogeneous(b, 50, 1000, 1)
+	s := Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

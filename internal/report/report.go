@@ -1,0 +1,203 @@
+// Package report renders experiment results for humans and tools: aligned
+// ASCII tables, CSV for downstream plotting, and a dependency-free ASCII
+// line chart good enough to eyeball the paper's figure shapes in a
+// terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"bioschedsim/internal/experiments"
+)
+
+// algorithms returns the sorted set of algorithm names present in a result.
+func algorithms(res *experiments.Result) []string {
+	set := map[string]bool{}
+	for _, p := range res.Points {
+		for name := range p.Reports {
+			set[name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for name := range set {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTable renders the result as an aligned ASCII table: one row per
+// x value, one column per algorithm.
+func WriteTable(w io.Writer, res *experiments.Result) error {
+	algs := algorithms(res)
+	if _, err := fmt.Fprintf(w, "# %s\n# x: %s\n# y: %s\n", res.Title, res.XLabel, res.YLabel); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%12s", "x"); err != nil {
+		return err
+	}
+	for _, a := range algs {
+		if _, err := fmt.Fprintf(w, " %14s", a); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		if _, err := fmt.Fprintf(w, "%12g", p.X); err != nil {
+			return err
+		}
+		for _, a := range algs {
+			if _, err := fmt.Fprintf(w, " %14.4f", experiments.ExtractMetric(p.Reports[a], res.Metric)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the result as CSV with a header row
+// (vms,<alg1>,<alg2>,...) for external plotting tools.
+func WriteCSV(w io.Writer, res *experiments.Result) error {
+	algs := algorithms(res)
+	cols := append([]string{"vms"}, algs...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		row := make([]string, 0, len(cols))
+		row = append(row, fmt.Sprintf("%g", p.X))
+		for _, a := range algs {
+			row = append(row, fmt.Sprintf("%g", experiments.ExtractMetric(p.Reports[a], res.Metric)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the result as a GitHub-flavoured Markdown table,
+// the format EXPERIMENTS.md embeds.
+func WriteMarkdown(w io.Writer, res *experiments.Result) error {
+	algs := algorithms(res)
+	if _, err := fmt.Fprintf(w, "**%s** (y: %s)\n\n", res.Title, res.YLabel); err != nil {
+		return err
+	}
+	header := append([]string{"x"}, algs...)
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(sep, "|")); err != nil {
+		return err
+	}
+	for _, p := range res.Points {
+		row := []string{fmt.Sprintf("%g", p.X)}
+		for _, a := range algs {
+			row = append(row, fmt.Sprintf("%.4f", experiments.ExtractMetric(p.Reports[a], res.Metric)))
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders an ASCII line chart of the result, one glyph per algorithm.
+// Width and height are the plot-area dimensions in characters.
+func Chart(res *experiments.Result, width, height int) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	algs := algorithms(res)
+	glyphs := []byte("*o+x#@%&")
+
+	// Bounds.
+	minX, maxX, minY, maxY := 0.0, 0.0, 0.0, 0.0
+	first := true
+	for _, a := range algs {
+		xs, ys := res.Series(a)
+		for i := range xs {
+			if first {
+				minX, maxX, minY, maxY = xs[i], xs[i], ys[i], ys[i]
+				first = false
+				continue
+			}
+			if xs[i] < minX {
+				minX = xs[i]
+			}
+			if xs[i] > maxX {
+				maxX = xs[i]
+			}
+			if ys[i] < minY {
+				minY = ys[i]
+			}
+			if ys[i] > maxY {
+				maxY = ys[i]
+			}
+		}
+	}
+	if first {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, glyph byte) {
+		cx := int((x - minX) / (maxX - minX) * float64(width-1))
+		cy := int((y - minY) / (maxY - minY) * float64(height-1))
+		row := height - 1 - cy
+		if row >= 0 && row < height && cx >= 0 && cx < width {
+			grid[row][cx] = glyph
+		}
+	}
+	for ai, a := range algs {
+		xs, ys := res.Series(a)
+		for i := range xs {
+			plot(xs[i], ys[i], glyphs[ai%len(glyphs)])
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", res.Title, res.YLabel)
+	for r, row := range grid {
+		label := "          "
+		if r == 0 {
+			label = fmt.Sprintf("%10.3g", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%10.3g", minY)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*g%*g\n", strings.Repeat(" ", 10), width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&b, "%s  x: %s\n", strings.Repeat(" ", 10), res.XLabel)
+	var legend []string
+	for ai, a := range algs {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[ai%len(glyphs)], a))
+	}
+	fmt.Fprintf(&b, "%s  legend: %s\n", strings.Repeat(" ", 10), strings.Join(legend, "  "))
+	return b.String()
+}

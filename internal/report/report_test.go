@@ -1,0 +1,109 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bioschedsim/internal/experiments"
+	"bioschedsim/internal/metrics"
+)
+
+// fakeResult builds a small two-algorithm result for rendering tests.
+func fakeResult() *experiments.Result {
+	mk := func(sim float64, sched time.Duration) metrics.Report {
+		return metrics.Report{SimTime: sim, SchedulingTime: sched}
+	}
+	return &experiments.Result{
+		ID: "figX", Title: "Fake Figure", XLabel: "VMs", YLabel: "Sim (ms)", Metric: "sim_ms",
+		Points: []experiments.Point{
+			{X: 10, Reports: map[string]metrics.Report{"aco": mk(1, time.Second), "base": mk(2, 0)}},
+			{X: 20, Reports: map[string]metrics.Report{"aco": mk(0.5, time.Second), "base": mk(1, 0)}},
+			{X: 30, Reports: map[string]metrics.Report{"aco": mk(0.25, time.Second), "base": mk(0.5, 0)}},
+		},
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTable(&b, fakeResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fake Figure", "Sim (ms)", "aco", "base", "1000.0000", "250.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 7 { // 3 header comments + 1 column row + 3 data rows
+		t.Fatalf("table has %d lines:\n%s", got, out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b, fakeResult()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines: %v", lines)
+	}
+	if lines[0] != "vms,aco,base" {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if lines[1] != "10,1000,2000" {
+		t.Fatalf("row 1: %q", lines[1])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMarkdown(&b, fakeResult()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"**Fake Figure**", "| x | aco | base |", "|---|---|---|", "| 10 | 1000.0000 | 2000.0000 |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartContainsSeriesAndLegend(t *testing.T) {
+	out := Chart(fakeResult(), 40, 10)
+	for _, want := range []string{"Fake Figure", "legend:", "*=aco", "o=base", "VMs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart has no plotted points:\n%s", out)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	empty := &experiments.Result{ID: "e", Metric: "sim_ms"}
+	if got := Chart(empty, 40, 10); got != "(no data)\n" {
+		t.Fatalf("empty chart: %q", got)
+	}
+	// Constant series must not divide by zero.
+	flat := fakeResult()
+	for i := range flat.Points {
+		for k, r := range flat.Points[i].Reports {
+			r.SimTime = 1
+			flat.Points[i].Reports[k] = r
+		}
+	}
+	out := Chart(flat, 40, 10)
+	if !strings.Contains(out, "legend:") {
+		t.Fatalf("flat chart broken:\n%s", out)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	out := Chart(fakeResult(), 1, 1)
+	if len(out) == 0 {
+		t.Fatal("clamped chart empty")
+	}
+}

@@ -1,0 +1,152 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"bioschedsim/internal/experiments"
+)
+
+// seriesColors is a color-blind-friendly categorical palette (Okabe–Ito).
+var seriesColors = []string{
+	"#0072B2", "#D55E00", "#009E73", "#CC79A7",
+	"#E69F00", "#56B4E9", "#F0E442", "#000000",
+	"#999999", "#8B4513",
+}
+
+// WriteSVG renders the result as a self-contained SVG line chart — the
+// closest artifact to the paper's published figures. Width and height are
+// the full canvas size in pixels.
+func WriteSVG(w io.Writer, res *experiments.Result, width, height int) error {
+	if width < 320 {
+		width = 320
+	}
+	if height < 240 {
+		height = 240
+	}
+	algs := algorithms(res)
+	if len(algs) == 0 || len(res.Points) == 0 {
+		return fmt.Errorf("report: no data to chart for %q", res.ID)
+	}
+
+	const (
+		marginLeft   = 80
+		marginRight  = 20
+		marginTop    = 48
+		marginBottom = 64
+	)
+	plotW := float64(width - marginLeft - marginRight)
+	plotH := float64(height - marginTop - marginBottom)
+
+	// Bounds across all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, a := range algs {
+		xs, ys := res.Series(a)
+		for i := range xs {
+			minX = math.Min(minX, xs[i])
+			maxX = math.Max(maxX, xs[i])
+			minY = math.Min(minY, ys[i])
+			maxY = math.Max(maxY, ys[i])
+		}
+	}
+	if minY > 0 && minY/math.Max(maxY, 1e-300) < 0.5 {
+		minY = 0 // anchor at zero unless the series is a tight band
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return float64(marginLeft) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(marginTop) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		marginLeft, xmlEscape(res.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, height-marginBottom)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, height-marginBottom, width-marginRight, height-marginBottom)
+
+	// Ticks: 5 per axis with grid lines.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		x := px(fx)
+		y := py(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#dddddd"/>`+"\n",
+			x, marginTop, x, height-marginBottom)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginBottom+16, fmtTick(fx))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginLeft, y, width-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginLeft-6, y+4, fmtTick(fy))
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		float64(marginLeft)+plotW/2, height-16, xmlEscape(res.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, xmlEscape(res.YLabel))
+
+	// Series.
+	for ai, a := range algs {
+		xs, ys := res.Series(a)
+		color := seriesColors[ai%len(seriesColors)]
+		var pts []string
+		for i := range xs {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(xs[i]), py(ys[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range xs {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(xs[i]), py(ys[i]), color)
+		}
+	}
+
+	// Legend, top-right inside the plot.
+	lx := width - marginRight - 150
+	ly := marginTop + 8
+	for ai, a := range algs {
+		color := seriesColors[ai%len(seriesColors)]
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly+ai*18, lx+22, ly+ai*18, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+28, ly+ai*18+4, xmlEscape(a))
+	}
+
+	fmt.Fprintln(&b, `</svg>`)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fmtTick renders an axis tick value compactly.
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

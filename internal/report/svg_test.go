@@ -1,0 +1,79 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"bioschedsim/internal/experiments"
+)
+
+func TestWriteSVG(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSVG(&b, fakeResult(), 640, 480); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"Fake Figure", "Sim (ms)", ">aco<", ">base<",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polylines: %d", got)
+	}
+	// Every plotted point appears: 3 points × 2 series.
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Fatalf("circles: %d", got)
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSVG(&b, &experiments.Result{ID: "x", Metric: "sim_ms"}, 640, 480); err == nil {
+		t.Fatal("empty result accepted")
+	}
+}
+
+func TestWriteSVGClampsSize(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSVG(&b, fakeResult(), 10, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `width="320"`) {
+		t.Fatal("width not clamped")
+	}
+}
+
+func TestWriteSVGEscapesLabels(t *testing.T) {
+	res := fakeResult()
+	res.Title = `A<B & "C"`
+	var b strings.Builder
+	if err := WriteSVG(&b, res, 640, 480); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), `A<B &`) {
+		t.Fatal("labels not escaped")
+	}
+	if !strings.Contains(b.String(), "A&lt;B &amp; &quot;C&quot;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		12000:   "12.0k",
+		42:      "42",
+		0.25:    "0.25",
+		0:       "0",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Fatalf("fmtTick(%v): got %q want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package sched
+
+import (
+	"sort"
+
+	"bioschedsim/internal/cloud"
+)
+
+// Deadline is the SLA-aware extension scheduler: cloudlets are ordered by
+// earliest deadline first (no-deadline cloudlets last, longest first) and
+// each is placed on the VM that finishes it soonest given the load booked
+// so far — EDF ordering over EFT placement. The paper's §I lists deadlines
+// among the demands cloud schedulers must accommodate; the related work it
+// cites ([10], [23]) builds priority and provisioning schemes around them.
+type Deadline struct{}
+
+// NewDeadline returns the deadline-aware scheduler.
+func NewDeadline() *Deadline { return &Deadline{} }
+
+// Name implements Scheduler.
+func (*Deadline) Name() string { return "deadline" }
+
+// Schedule implements Scheduler.
+func (*Deadline) Schedule(ctx *Context) ([]Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	order := append([]*cloud.Cloudlet(nil), ctx.Cloudlets...)
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := order[i].Deadline, order[j].Deadline
+		switch {
+		case di != 0 && dj != 0:
+			return di < dj // EDF among constrained cloudlets
+		case di != 0:
+			return true // constrained before unconstrained
+		case dj != 0:
+			return false
+		default:
+			return order[i].Length > order[j].Length // LPT among the rest
+		}
+	})
+	rt := newReadyTimes(ctx.VMs)
+	chosen := make(map[*cloud.Cloudlet]*cloud.VM, len(order))
+	for _, c := range order {
+		v := rt.bestVM(c)
+		rt.assign(c, v)
+		chosen[c] = ctx.VMs[v]
+	}
+	out := make([]Assignment, len(ctx.Cloudlets))
+	for i, c := range ctx.Cloudlets {
+		out[i] = Assignment{Cloudlet: c, VM: chosen[c]}
+	}
+	return out, nil
+}
+
+func init() {
+	Register("deadline", func() Scheduler { return NewDeadline() })
+}

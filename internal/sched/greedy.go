@@ -1,0 +1,294 @@
+package sched
+
+import (
+	"sort"
+
+	"bioschedsim/internal/cloud"
+)
+
+// readyTimes tracks the estimated time at which each VM becomes free, the
+// standard bookkeeping of list-scheduling heuristics.
+type readyTimes struct {
+	vms   []*cloud.VM
+	ready []float64
+}
+
+func newReadyTimes(vms []*cloud.VM) *readyTimes {
+	return &readyTimes{vms: vms, ready: make([]float64, len(vms))}
+}
+
+// completion returns the estimated completion time of c on VM index v.
+func (r *readyTimes) completion(c *cloud.Cloudlet, v int) float64 {
+	return r.ready[v] + r.vms[v].EstimateExecTime(c)
+}
+
+// assign books c onto VM index v and returns the assignment.
+func (r *readyTimes) assign(c *cloud.Cloudlet, v int) Assignment {
+	r.ready[v] += r.vms[v].EstimateExecTime(c)
+	return Assignment{Cloudlet: c, VM: r.vms[v]}
+}
+
+// bestVM returns the VM index minimizing completion time for c.
+func (r *readyTimes) bestVM(c *cloud.Cloudlet) int {
+	best, bestCT := 0, r.completion(c, 0)
+	for v := 1; v < len(r.vms); v++ {
+		if ct := r.completion(c, v); ct < bestCT {
+			best, bestCT = v, ct
+		}
+	}
+	return best
+}
+
+// Greedy is first-come-first-served earliest-finish-time mapping: each
+// cloudlet, in submission order, goes to the VM that would finish it
+// soonest given the load booked so far. O(n·m); the cheapest
+// heterogeneity-aware baseline.
+type Greedy struct{}
+
+// NewGreedy returns the greedy EFT scheduler.
+func NewGreedy() *Greedy { return &Greedy{} }
+
+// Name implements Scheduler.
+func (*Greedy) Name() string { return "greedy" }
+
+// Schedule implements Scheduler.
+func (*Greedy) Schedule(ctx *Context) ([]Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	rt := newReadyTimes(ctx.VMs)
+	out := make([]Assignment, len(ctx.Cloudlets))
+	for i, c := range ctx.Cloudlets {
+		out[i] = rt.assign(c, rt.bestVM(c))
+	}
+	return out, nil
+}
+
+// MinMin is the classic Min-Min heuristic: repeatedly assign the cloudlet
+// whose best completion time is smallest. Short tasks schedule first, which
+// minimizes average completion at some cost in makespan. O(n²) in the
+// cloudlet count (with the per-cloudlet best VM cached between rounds).
+type MinMin struct{}
+
+// NewMinMin returns the Min-Min scheduler.
+func NewMinMin() *MinMin { return &MinMin{} }
+
+// Name implements Scheduler.
+func (*MinMin) Name() string { return "minmin" }
+
+// Schedule implements Scheduler.
+func (*MinMin) Schedule(ctx *Context) ([]Assignment, error) {
+	return minMaxSchedule(ctx, false)
+}
+
+// MaxMin is the improved Max-Min of the related work [4]: assign the
+// *largest* remaining cloudlet to the VM that completes it earliest (the
+// least-loaded capable VM), pulling long tasks forward to cut makespan.
+type MaxMin struct{}
+
+// NewMaxMin returns the improved Max-Min scheduler.
+func NewMaxMin() *MaxMin { return &MaxMin{} }
+
+// Name implements Scheduler.
+func (*MaxMin) Name() string { return "maxmin" }
+
+// Schedule implements Scheduler.
+func (*MaxMin) Schedule(ctx *Context) ([]Assignment, error) {
+	return minMaxSchedule(ctx, true)
+}
+
+// minMaxSchedule implements both Min-Min (pickMax=false) and Max-Min
+// (pickMax=true). Each round recomputes the best completion time only for
+// cloudlets whose cached best VM was the one just loaded, which keeps the
+// common case near O(n·m + n²/m) instead of a full O(n²·m).
+func minMaxSchedule(ctx *Context, pickMax bool) ([]Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	rt := newReadyTimes(ctx.VMs)
+	n := len(ctx.Cloudlets)
+	type cand struct {
+		cl   *cloud.Cloudlet
+		vm   int
+		ct   float64
+		done bool
+	}
+	cands := make([]cand, n)
+	for i, c := range ctx.Cloudlets {
+		v := rt.bestVM(c)
+		cands[i] = cand{cl: c, vm: v, ct: rt.completion(c, v)}
+	}
+	out := make([]Assignment, 0, n)
+	for len(out) < n {
+		pick := -1
+		for i := range cands {
+			if cands[i].done {
+				continue
+			}
+			if pick == -1 {
+				pick = i
+				continue
+			}
+			if pickMax {
+				// Max-Min compares by task size first: largest task, then
+				// earliest completion for determinism.
+				if cands[i].cl.Length > cands[pick].cl.Length ||
+					(cands[i].cl.Length == cands[pick].cl.Length && cands[i].ct < cands[pick].ct) {
+					pick = i
+				}
+			} else if cands[i].ct < cands[pick].ct {
+				pick = i
+			}
+		}
+		chosen := &cands[pick]
+		// Refresh the cached best VM: it may be stale if that VM was loaded
+		// since the cache was computed.
+		v := rt.bestVM(chosen.cl)
+		out = append(out, rt.assign(chosen.cl, v))
+		chosen.done = true
+		// Invalidate caches pointing at the VM we just loaded.
+		for i := range cands {
+			if cands[i].done || cands[i].vm != v {
+				continue
+			}
+			nv := rt.bestVM(cands[i].cl)
+			cands[i].vm, cands[i].ct = nv, rt.completion(cands[i].cl, nv)
+		}
+	}
+	return out, nil
+}
+
+// Sufferage is the classic heterogeneous-scheduling heuristic: each round,
+// every unassigned cloudlet computes how much it would "suffer" if denied
+// its best VM (second-best minus best completion time); the cloudlet with
+// the largest sufferage books its best VM first. It often beats both
+// Min-Min and Max-Min on heterogeneous plants and rounds out the classical
+// baseline set the bio-inspired algorithms are measured against.
+type Sufferage struct{}
+
+// NewSufferage returns the sufferage scheduler.
+func NewSufferage() *Sufferage { return &Sufferage{} }
+
+// Name implements Scheduler.
+func (*Sufferage) Name() string { return "sufferage" }
+
+// Schedule implements Scheduler.
+func (*Sufferage) Schedule(ctx *Context) ([]Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	rt := newReadyTimes(ctx.VMs)
+	n := len(ctx.Cloudlets)
+	type cand struct {
+		cl        *cloud.Cloudlet
+		best      int // VM index of best completion
+		sufferage float64
+		done      bool
+	}
+	// bestTwo computes the best VM and the sufferage value for c.
+	bestTwo := func(c *cloud.Cloudlet) (int, float64) {
+		best, second := -1, -1
+		var bestCT, secondCT float64
+		for v := range ctx.VMs {
+			ct := rt.completion(c, v)
+			switch {
+			case best == -1 || ct < bestCT:
+				second, secondCT = best, bestCT
+				best, bestCT = v, ct
+			case second == -1 || ct < secondCT:
+				second, secondCT = v, ct
+			}
+		}
+		if second == -1 {
+			return best, 0 // single-VM fleet: nothing to suffer
+		}
+		return best, secondCT - bestCT
+	}
+	cands := make([]cand, n)
+	for i, c := range ctx.Cloudlets {
+		b, s := bestTwo(c)
+		cands[i] = cand{cl: c, best: b, sufferage: s}
+	}
+	chosen := make(map[*cloud.Cloudlet]*cloud.VM, n)
+	for assigned := 0; assigned < n; assigned++ {
+		pick := -1
+		for i := range cands {
+			if cands[i].done {
+				continue
+			}
+			if pick == -1 || cands[i].sufferage > cands[pick].sufferage {
+				pick = i
+			}
+		}
+		chosenCand := &cands[pick]
+		// Refresh: the cached best may be stale.
+		b, _ := bestTwo(chosenCand.cl)
+		rt.assign(chosenCand.cl, b)
+		chosen[chosenCand.cl] = ctx.VMs[b]
+		chosenCand.done = true
+		// Invalidate candidates whose cached best was the VM just loaded.
+		for i := range cands {
+			if cands[i].done || cands[i].best != b {
+				continue
+			}
+			nb, ns := bestTwo(cands[i].cl)
+			cands[i].best, cands[i].sufferage = nb, ns
+		}
+	}
+	out := make([]Assignment, n)
+	for i, c := range ctx.Cloudlets {
+		out[i] = Assignment{Cloudlet: c, VM: chosen[c]}
+	}
+	return out, nil
+}
+
+// CostPriority reproduces the related-work cost-based scheduler [25]: tasks
+// are ranked into three priority bands by their resource-cost estimate, and
+// high-cost tasks are mapped to the cheapest capable VMs first, cycling
+// within cost tiers to avoid pile-ups.
+type CostPriority struct{}
+
+// NewCostPriority returns the cost-priority scheduler.
+func NewCostPriority() *CostPriority { return &CostPriority{} }
+
+// Name implements Scheduler.
+func (*CostPriority) Name() string { return "costpriority" }
+
+// Schedule implements Scheduler.
+func (*CostPriority) Schedule(ctx *Context) ([]Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	// Rank VMs by resource cost rate, cheapest first.
+	vms := append([]*cloud.VM(nil), ctx.VMs...)
+	sort.SliceStable(vms, func(i, j int) bool {
+		return cloud.ResourceCostRate(vms[i]) < cloud.ResourceCostRate(vms[j])
+	})
+	// Rank cloudlets by length (cost driver), longest first, split in 3 bands.
+	cls := append([]*cloud.Cloudlet(nil), ctx.Cloudlets...)
+	sort.SliceStable(cls, func(i, j int) bool { return cls[i].Length > cls[j].Length })
+	out := make([]Assignment, 0, len(cls))
+	bands := 3
+	for b := 0; b < bands; b++ {
+		lo, hi := b*len(cls)/bands, (b+1)*len(cls)/bands
+		// Band 0 (most expensive tasks) cycles over the cheapest third of
+		// VMs, band 1 the middle third, band 2 the rest.
+		vlo, vhi := b*len(vms)/bands, (b+1)*len(vms)/bands
+		if vhi == vlo {
+			vlo, vhi = 0, len(vms)
+		}
+		span := vhi - vlo
+		for i, c := range cls[lo:hi] {
+			out = append(out, Assignment{Cloudlet: c, VM: vms[vlo+i%span]})
+		}
+	}
+	return out, nil
+}
+
+func init() {
+	Register("greedy", func() Scheduler { return NewGreedy() })
+	Register("minmin", func() Scheduler { return NewMinMin() })
+	Register("maxmin", func() Scheduler { return NewMaxMin() })
+	Register("sufferage", func() Scheduler { return NewSufferage() })
+	Register("costpriority", func() Scheduler { return NewCostPriority() })
+}

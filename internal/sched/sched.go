@@ -1,0 +1,130 @@
+// Package sched defines the scheduling interface the paper's algorithms
+// implement, plus the classical baselines they are compared against: the
+// CloudSim default cyclic mapper ("Base Test"), random assignment, greedy
+// earliest-finish, Min-Min, the improved Max-Min of the related work [4],
+// and the cost-priority scheduler of [25].
+//
+// Scheduling here is static batch mapping, exactly as in the paper: the
+// scheduler sees the whole cloudlet list and the whole VM fleet up front and
+// returns a complete assignment; the broker then injects that assignment
+// into the simulator. The wall-clock duration of Schedule is the paper's
+// "scheduling time" metric (Figs. 5 and 6b).
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bioschedsim/internal/cloud"
+)
+
+// Context is the immutable scheduling problem handed to a Scheduler.
+type Context struct {
+	Cloudlets   []*cloud.Cloudlet
+	VMs         []*cloud.VM
+	Datacenters []*cloud.Datacenter
+	// Rand is the run's seeded randomness source. Stochastic schedulers must
+	// draw from it (never from global rand) so runs stay reproducible.
+	Rand *rand.Rand
+}
+
+// Validate checks the context is well-formed for batch scheduling.
+func (c *Context) Validate() error {
+	if len(c.Cloudlets) == 0 {
+		return fmt.Errorf("sched: empty cloudlet list")
+	}
+	if len(c.VMs) == 0 {
+		return fmt.Errorf("sched: empty VM list")
+	}
+	for i, cl := range c.Cloudlets {
+		if cl == nil {
+			return fmt.Errorf("sched: nil cloudlet at index %d", i)
+		}
+	}
+	for i, vm := range c.VMs {
+		if vm == nil {
+			return fmt.Errorf("sched: nil VM at index %d", i)
+		}
+	}
+	return nil
+}
+
+// Assignment maps one cloudlet to one VM.
+type Assignment struct {
+	Cloudlet *cloud.Cloudlet
+	VM       *cloud.VM
+}
+
+// Scheduler maps a batch of cloudlets onto VMs.
+type Scheduler interface {
+	// Name identifies the algorithm in reports ("aco", "hbo", "base", ...).
+	Name() string
+	// Schedule returns exactly one assignment per cloudlet in ctx. It must
+	// not mutate the cloudlets or VMs; execution happens later.
+	Schedule(ctx *Context) ([]Assignment, error)
+}
+
+// ValidateAssignments checks that got covers every cloudlet in ctx exactly
+// once and only uses VMs from ctx. Experiment harnesses run this after every
+// Schedule call so a buggy algorithm fails loudly instead of skewing metrics.
+func ValidateAssignments(ctx *Context, got []Assignment) error {
+	if len(got) != len(ctx.Cloudlets) {
+		return fmt.Errorf("sched: %d assignments for %d cloudlets", len(got), len(ctx.Cloudlets))
+	}
+	vmSet := make(map[*cloud.VM]struct{}, len(ctx.VMs))
+	for _, vm := range ctx.VMs {
+		vmSet[vm] = struct{}{}
+	}
+	seen := make(map[*cloud.Cloudlet]struct{}, len(got))
+	for i, a := range got {
+		if a.Cloudlet == nil || a.VM == nil {
+			return fmt.Errorf("sched: nil entry in assignment %d", i)
+		}
+		if _, ok := vmSet[a.VM]; !ok {
+			return fmt.Errorf("sched: assignment %d uses VM %d not in context", i, a.VM.ID)
+		}
+		if _, dup := seen[a.Cloudlet]; dup {
+			return fmt.Errorf("sched: cloudlet %d assigned twice", a.Cloudlet.ID)
+		}
+		seen[a.Cloudlet] = struct{}{}
+	}
+	for _, cl := range ctx.Cloudlets {
+		if _, ok := seen[cl]; !ok {
+			return fmt.Errorf("sched: cloudlet %d not assigned", cl.ID)
+		}
+	}
+	return nil
+}
+
+// Split converts assignments into the parallel slices cloud.Execute expects.
+func Split(assignments []Assignment) ([]*cloud.Cloudlet, []*cloud.VM) {
+	cls := make([]*cloud.Cloudlet, len(assignments))
+	vms := make([]*cloud.VM, len(assignments))
+	for i, a := range assignments {
+		cls[i] = a.Cloudlet
+		vms[i] = a.VM
+	}
+	return cls, vms
+}
+
+// Load summarizes the estimated execution seconds each VM would absorb under
+// an assignment; schedulers and tests use it to reason about balance.
+func Load(assignments []Assignment) map[*cloud.VM]float64 {
+	load := make(map[*cloud.VM]float64)
+	for _, a := range assignments {
+		load[a.VM] += a.VM.EstimateExecTime(a.Cloudlet)
+	}
+	return load
+}
+
+// EstimatedMakespan returns the max per-VM estimated load — the quantity
+// compute-oriented schedulers try to minimize.
+func EstimatedMakespan(assignments []Assignment) float64 {
+	var max float64
+	for _, l := range Load(assignments) {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

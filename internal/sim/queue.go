@@ -1,0 +1,88 @@
+package sim
+
+// Queue is a future event list: a priority queue of events ordered by
+// (time, priority, insertion sequence).
+type Queue interface {
+	// Push inserts an event.
+	Push(*Event)
+	// Pop removes and returns the earliest event. It panics on empty.
+	Pop() *Event
+	// Peek returns the earliest event without removing it, or nil if empty.
+	Peek() *Event
+	// Len returns the number of queued events (including cancelled ones not
+	// yet discarded).
+	Len() int
+}
+
+// HeapQueue is a classic binary-heap future event list. It is the engine's
+// default: O(log n) push/pop with excellent constants at the event counts
+// this simulator reaches (millions).
+type HeapQueue struct {
+	items []*Event
+}
+
+// NewHeapQueue returns an empty HeapQueue.
+func NewHeapQueue() *HeapQueue { return &HeapQueue{} }
+
+// Len implements Queue.
+func (q *HeapQueue) Len() int { return len(q.items) }
+
+// Peek implements Queue.
+func (q *HeapQueue) Peek() *Event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Push implements Queue.
+func (q *HeapQueue) Push(e *Event) {
+	q.items = append(q.items, e)
+	q.up(len(q.items) - 1)
+}
+
+// Pop implements Queue.
+func (q *HeapQueue) Pop() *Event {
+	if len(q.items) == 0 {
+		panic("sim: Pop on empty HeapQueue")
+	}
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	q.items[last] = nil
+	q.items = q.items[:last]
+	if len(q.items) > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+func (q *HeapQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.items[i].before(q.items[parent]) {
+			break
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *HeapQueue) down(i int) {
+	n := len(q.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.items[right].before(q.items[left]) {
+			least = right
+		}
+		if !q.items[least].before(q.items[i]) {
+			return
+		}
+		q.items[i], q.items[least] = q.items[least], q.items[i]
+		i = least
+	}
+}
