@@ -16,6 +16,7 @@ import (
 	"bioschedsim/internal/elastic"
 	"bioschedsim/internal/hbo"
 	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/online"
 	"bioschedsim/internal/rbs"
 	"bioschedsim/internal/sched"
@@ -402,6 +403,80 @@ func BenchmarkExtDeadlineScheduler(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Schedule(scenario.Context()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Objective-evaluation layer kernels ------------------------------------------
+
+// BenchmarkObjectiveDense measures a full Eq. 8 evaluation against the
+// materialized matrix on the heterogeneous fleet, where every VM is its own
+// exec class (K = m, no compression).
+func BenchmarkObjectiveDense(b *testing.B) {
+	scenario := hetScenario(b, 50, 500)()
+	ctx := scenario.Context()
+	mx := objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{})
+	rnd := rand.New(rand.NewSource(1))
+	pos := make([]int, mx.N())
+	for i := range pos {
+		pos[i] = rnd.Intn(mx.M())
+	}
+	busy := make([]float64, mx.M())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mx.MakespanOf(pos, busy) <= 0 {
+			b.Fatal("bad makespan")
+		}
+	}
+}
+
+// BenchmarkObjectiveCompressed is the same evaluation on the homogeneous
+// fleet, where the matrix compresses to a single VM class (K = 1).
+func BenchmarkObjectiveCompressed(b *testing.B) {
+	scenario := homScenario(b, 180, 2000)()
+	ctx := scenario.Context()
+	mx := objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{})
+	if mx.K() != 1 {
+		b.Fatalf("homogeneous fleet did not compress: K=%d", mx.K())
+	}
+	rnd := rand.New(rand.NewSource(1))
+	pos := make([]int, mx.N())
+	for i := range pos {
+		pos[i] = rnd.Intn(mx.M())
+	}
+	busy := make([]float64, mx.M())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if mx.MakespanOf(pos, busy) <= 0 {
+			b.Fatal("bad makespan")
+		}
+	}
+}
+
+// BenchmarkObjectiveDelta measures the O(1) single-cloudlet reassignment of
+// the incremental Evaluator — the per-move cost inside metaheuristic loops,
+// to be compared against the O(n+m) full evaluations above.
+func BenchmarkObjectiveDelta(b *testing.B) {
+	scenario := hetScenario(b, 50, 500)()
+	ctx := scenario.Context()
+	mx := objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{})
+	rnd := rand.New(rand.NewSource(1))
+	pos := make([]int, mx.N())
+	for i := range pos {
+		pos[i] = rnd.Intn(mx.M())
+	}
+	e := objective.NewEvaluator(mx, false)
+	e.SetAll(pos)
+	moves := make([][2]int, 4096)
+	for k := range moves {
+		moves[k] = [2]int{rnd.Intn(mx.N()), rnd.Intn(mx.M())}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mv := moves[i&4095]
+		e.Move(mv[0], mv[1])
+		if e.Makespan() <= 0 {
+			b.Fatal("bad makespan")
 		}
 	}
 }

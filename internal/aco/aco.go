@@ -20,6 +20,18 @@
 // bonus on the iteration-best tour (Eq. 11). The best tour over all
 // iterations is returned.
 //
+// All Eq. 6/8 arithmetic comes from the shared internal/objective layer: a
+// compressed execution matrix caches d_ij per (cloudlet, VM-class), η^β is
+// precomputed per class alongside it, and tours are scored by an
+// incremental Evaluator. The pheromone itself is stored factored as
+// τ_ij = g·b_ij with a global decay scalar g, which makes Eq. 9's
+// evaporation O(1) instead of O(n·m) and lets Eq. 5's sampling skip the
+// per-cell τ^α power entirely: g^α is a common factor of every candidate
+// weight, so it cancels in the roulette normalization and only b^α — cached
+// and refreshed on deposit — is needed. The sampled distribution is
+// mathematically identical to the direct form (individual draws may differ
+// in the last float ulp).
+//
 // With Table II's α=0.01, β=0.99 the search is heavily heuristic-driven:
 // ACO chases computation speed, which is exactly the behaviour the paper
 // reports (best simulation time, worst load imbalance, longest scheduling
@@ -30,6 +42,7 @@ import (
 	"fmt"
 	"math"
 
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/sched"
 )
 
@@ -43,10 +56,11 @@ type Config struct {
 	Iterations int     // tour-construction rounds (paper: "maxIterations")
 	InitialTau float64 // τ(0), the uniform initial pheromone (Alg. 2's C)
 	// MaxMatrixCells bounds the dense per-(cloudlet, VM) pheromone matrix of
-	// Eq. 5. Batches with n·m beyond the bound fall back to a per-VM
-	// pheromone vector — exact for the paper's homogeneous scenario (where
-	// d_ij is constant per VM) and the only way to run its extreme sizes
-	// (1 000 000 cloudlets × 100 000 VMs would need a 10¹¹-cell matrix).
+	// Eq. 5 and the shared execution-estimate cache. Batches with n·m beyond
+	// the bound fall back to a per-VM pheromone vector — exact for the
+	// paper's homogeneous scenario (where d_ij is constant per VM) and the
+	// only way to run its extreme sizes (1 000 000 cloudlets × 100 000 VMs
+	// would need a 10¹¹-cell matrix).
 	MaxMatrixCells int64
 }
 
@@ -142,7 +156,14 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 	return out, nil
 }
 
-// run carries the per-call search state. Two pheromone layouts exist:
+// renormThreshold triggers folding the global decay scalar g back into the
+// per-cell base pheromone before g underflows. With ρ=0.4, g reaches it
+// after ~650 iterations, so renormalization is essentially free.
+const renormThreshold = 1e-120
+
+// run carries the per-call search state. Execution estimates live in a
+// shared objective.Matrix (compressed per VM class); pheromone has two
+// layouts:
 //
 //   - dense: the faithful per-(cloudlet, VM) matrix of Eq. 5, used whenever
 //     n·m fits within Config.MaxMatrixCells;
@@ -152,6 +173,10 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 //     identical d_ij per VM, so collapsing the cloudlet dimension is exact;
 //     for heterogeneous batches it is an approximation, which is why the
 //     threshold is generous and configurable.
+//
+// Both layouts store τ factored as g·b (see the package comment): evaporate
+// touches only g, deposits touch only the cells of the deposited tours, and
+// picks read the cached b^α without any math.Pow.
 type run struct {
 	cfg   Config
 	ctx   *sched.Context
@@ -159,76 +184,91 @@ type run struct {
 	m     int // VMs
 	dense bool
 
-	d   [][]float64 // dense: d_ij expected execution times (Eq. 6)
-	eta [][]float64 // dense: η_ij^β, precomputed
-	tau [][]float64 // dense: pheromone τ_ij
+	mx   *objective.Matrix    // shared Eq. 6 cache
+	eval *objective.Evaluator // incremental Eq. 8 scorer for ant tours
+	k    int                  // VM class count
+	cls  []int32              // VM → class index
 
-	tauVM  []float64 // vector: pheromone per VM
-	invCap []float64 // vector: cached 1/(PEs·MIPS) per VM
-	invBw  []float64 // vector: cached 1/Bw per VM (0 when Bw is 0)
+	// etaCls caches η_ij^β per (cloudlet, class) when the execution matrix is
+	// materialized; nil means compute on demand (memory-bounded fallback).
+	etaCls []float64
 
-	tour []int // scratch: current combined assignment (cloudlet → VM index)
+	g        float64   // global pheromone decay scalar
+	b        []float64 // dense: base pheromone per (cloudlet, VM), row-major
+	bAlpha   []float64 // dense: cached b^α, refreshed on deposit
+	bVM      []float64 // vector: base pheromone per VM
+	bVMAlpha []float64 // vector: cached b^α, refreshed once per iteration
+
+	tour    []int     // scratch: current combined assignment (cloudlet → VM index)
+	tabu    []bool    // scratch: per-ant visited set
+	weights []float64 // scratch: roulette weights
 
 	bestTour []int
 	bestLen  float64
 }
 
 func newRun(cfg Config, ctx *sched.Context) *run {
-	r := &run{cfg: cfg, ctx: ctx, n: len(ctx.Cloudlets), m: len(ctx.VMs), bestLen: math.Inf(1)}
-	r.dense = int64(r.n)*int64(r.m) <= cfg.MaxMatrixCells
-	r.tour = make([]int, r.n)
-	if r.dense {
-		r.d = make([][]float64, r.n)
-		r.eta = make([][]float64, r.n)
-		r.tau = make([][]float64, r.n)
-		for i, c := range ctx.Cloudlets {
-			r.d[i] = make([]float64, r.m)
-			r.eta[i] = make([]float64, r.m)
-			r.tau[i] = make([]float64, r.m)
-			for j, vm := range ctx.VMs {
-				dij := vm.EstimateExecTime(c) // Eq. 6
-				if dij <= 0 {
-					dij = math.SmallestNonzeroFloat64
-				}
-				r.d[i][j] = dij
-				r.eta[i][j] = math.Pow(1/dij, cfg.Beta)
-				r.tau[i][j] = cfg.InitialTau
+	r := &run{
+		cfg: cfg, ctx: ctx,
+		n: len(ctx.Cloudlets), m: len(ctx.VMs),
+		bestLen: math.Inf(1),
+		g:       1,
+	}
+	r.mx = objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{MaxCells: cfg.MaxMatrixCells})
+	r.eval = objective.NewEvaluator(r.mx, false)
+	r.k = r.mx.K()
+	r.cls = make([]int32, r.m)
+	for j := 0; j < r.m; j++ {
+		r.cls[j] = int32(r.mx.Class(j))
+	}
+	if r.mx.Cached() {
+		r.etaCls = make([]float64, r.n*r.k)
+		for i := 0; i < r.n; i++ {
+			row := r.etaCls[i*r.k : (i+1)*r.k]
+			for cl := range row {
+				row[cl] = etaPow(r.mx.ExecByClass(i, cl), cfg.Beta)
 			}
 		}
-		return r
 	}
-	r.tauVM = make([]float64, r.m)
-	r.invCap = make([]float64, r.m)
-	r.invBw = make([]float64, r.m)
-	for j, vm := range ctx.VMs {
-		r.tauVM[j] = cfg.InitialTau
-		r.invCap[j] = 1 / vm.Capacity()
-		if vm.Bw > 0 {
-			r.invBw[j] = 1 / vm.Bw
+	r.tour = make([]int, r.n)
+	r.tabu = make([]bool, r.m)
+	r.weights = make([]float64, r.m)
+
+	r.dense = int64(r.n)*int64(r.m) <= cfg.MaxMatrixCells
+	ba0 := math.Pow(cfg.InitialTau, cfg.Alpha)
+	if r.dense {
+		r.b = make([]float64, r.n*r.m)
+		r.bAlpha = make([]float64, r.n*r.m)
+		for idx := range r.b {
+			r.b[idx] = cfg.InitialTau
+			r.bAlpha[idx] = ba0
+		}
+	} else {
+		r.bVM = make([]float64, r.m)
+		r.bVMAlpha = make([]float64, r.m)
+		for j := range r.bVM {
+			r.bVM[j] = cfg.InitialTau
+			r.bVMAlpha[j] = ba0
 		}
 	}
 	return r
 }
 
-// dij returns Eq. 6's expected execution time of cloudlet i on VM j.
-func (r *run) dij(i, j int) float64 {
-	if r.dense {
-		return r.d[i][j]
-	}
-	c := r.ctx.Cloudlets[i]
-	d := c.Length*r.invCap[j] + c.FileSize*r.invBw[j]
+// etaPow returns η^β = (1/d)^β with the degenerate d≤0 case clamped so the
+// weight stays finite-ready for the roulette's overflow fallback.
+func etaPow(d, beta float64) float64 {
 	if d <= 0 {
-		return math.SmallestNonzeroFloat64
+		d = math.SmallestNonzeroFloat64
 	}
-	return d
+	return math.Pow(1/d, beta)
 }
 
-// weight returns Eq. 5's unnormalized transition weight τ^α·η^β.
-func (r *run) weight(i, j int) float64 {
-	if r.dense {
-		return math.Pow(r.tau[i][j], r.cfg.Alpha) * r.eta[i][j]
+// eta returns the cached (or on-demand) η_ij^β.
+func (r *run) eta(i, j int) float64 {
+	if r.etaCls != nil {
+		return r.etaCls[i*r.k+int(r.cls[j])]
 	}
-	return math.Pow(r.tauVM[j], r.cfg.Alpha) * math.Pow(1/r.dij(i, j), r.cfg.Beta)
+	return etaPow(r.mx.Exec(i, j), r.cfg.Beta)
 }
 
 // search runs the configured iterations and returns the best combined tour.
@@ -248,7 +288,7 @@ func (r *run) search() []int {
 		chunks[k] = [2]int{k * r.n / ants, (k + 1) * r.n / ants}
 	}
 	tourLens := make([]float64, ants)
-	vmTime := make([]float64, r.m)
+	busy := make([]float64, r.m)
 	for it := 0; it < r.cfg.Iterations; it++ {
 		iterBest := 0
 		for k := 0; k < ants; k++ {
@@ -258,18 +298,7 @@ func (r *run) search() []int {
 			}
 		}
 		// Combined iteration quality: Eq. 8 makespan over the whole batch.
-		for j := range vmTime {
-			vmTime[j] = 0
-		}
-		for i, j := range r.tour {
-			vmTime[j] += r.dij(i, j)
-		}
-		combined := 0.0
-		for _, t := range vmTime {
-			if t > combined {
-				combined = t
-			}
-		}
+		combined := r.mx.MakespanOf(r.tour, busy)
 		if combined < r.bestLen {
 			r.bestLen = combined
 			r.bestTour = append(r.bestTour[:0], r.tour...)
@@ -281,18 +310,28 @@ func (r *run) search() []int {
 		}
 		// Eq. 11: elitist reinforcement of the iteration-best ant's tour.
 		r.depositChunk(chunks[iterBest][0], chunks[iterBest][1], r.cfg.Q/tourLens[iterBest])
+		if !r.dense {
+			// The vector layout refreshes its K≪n·m cached powers in one pass.
+			for j := range r.bVM {
+				r.bVMAlpha[j] = math.Pow(r.bVM[j], r.cfg.Alpha)
+			}
+		}
 	}
 	return r.bestTour
 }
 
 // construct builds one ant's tour for cloudlets [lo,hi) into r.tour[lo:hi]
 // and returns its quality L_k per Eq. 8: the maximum over VMs of the summed
-// expected execution times the ant routed to that VM.
+// expected execution times the ant routed to that VM. The incremental
+// evaluator's epoch reset keeps scoring proportional to the chunk, not the
+// fleet.
 func (r *run) construct(lo, hi int) float64 {
 	rnd := r.ctx.Rand
-	tabu := make([]bool, r.m)
+	tabu := r.tabu
+	for v := range tabu {
+		tabu[v] = false
+	}
 	free := r.m
-	vmTime := make(map[int]float64, hi-lo)
 	// Alg. 2 line 4: the ant starts at a random VM, which is marked visited.
 	start := rnd.Intn(r.m)
 	tabu[start] = true
@@ -301,15 +340,16 @@ func (r *run) construct(lo, hi int) float64 {
 		var sum float64
 		for i := lo; i < hi; i++ {
 			r.tour[i] = start
-			sum += r.dij(i, start)
+			sum += r.mx.Exec(i, start)
 		}
 		return sum
 	}
-	weights := make([]float64, r.m)
+	e := r.eval
+	e.Reset()
 	for i := lo; i < hi; i++ {
-		j := r.pick(i, tabu, weights, rnd)
+		j := r.pick(i, tabu, r.weights, rnd)
 		r.tour[i] = j
-		vmTime[j] += r.dij(i, j)
+		e.Assign(i, j)
 		tabu[j] = true
 		free--
 		if free == 0 {
@@ -320,27 +360,50 @@ func (r *run) construct(lo, hi int) float64 {
 			free = r.m
 		}
 	}
-	var length float64
-	for _, t := range vmTime {
-		if t > length {
-			length = t
-		}
-	}
-	return length
+	return e.Makespan()
 }
 
 // pick samples a VM for cloudlet i by Eq. 5's probabilistic transition rule,
-// restricted to VMs outside the tabu list.
+// restricted to VMs outside the tabu list. Weights are b^α·η^β — the g^α
+// factor of the true τ^α·η^β is shared by every candidate and cancels in
+// the normalization below.
 func (r *run) pick(i int, tabu []bool, weights []float64, rnd interface{ Float64() float64 }) int {
 	var total float64
-	for j := 0; j < r.m; j++ {
-		if tabu[j] {
-			weights[j] = 0
-			continue
+	switch {
+	case r.dense && r.etaCls != nil:
+		// Hot path: two cached lookups and one multiply per candidate.
+		ba := r.bAlpha[i*r.m : (i+1)*r.m]
+		eta := r.etaCls[i*r.k : (i+1)*r.k]
+		for j := 0; j < r.m; j++ {
+			if tabu[j] {
+				weights[j] = 0
+				continue
+			}
+			w := ba[j] * eta[r.cls[j]]
+			weights[j] = w
+			total += w
 		}
-		w := r.weight(i, j)
-		weights[j] = w
-		total += w
+	case r.dense:
+		ba := r.bAlpha[i*r.m : (i+1)*r.m]
+		for j := 0; j < r.m; j++ {
+			if tabu[j] {
+				weights[j] = 0
+				continue
+			}
+			w := ba[j] * r.eta(i, j)
+			weights[j] = w
+			total += w
+		}
+	default:
+		for j := 0; j < r.m; j++ {
+			if tabu[j] {
+				weights[j] = 0
+				continue
+			}
+			w := r.bVMAlpha[j] * r.eta(i, j)
+			weights[j] = w
+			total += w
+		}
 	}
 	if total <= 0 || math.IsInf(total, 1) || math.IsNaN(total) {
 		// Degenerate weights (all under/overflowed): fall back to the first
@@ -368,37 +431,44 @@ func (r *run) pick(i int, tabu []bool, weights []float64, rnd interface{ Float64
 	return 0
 }
 
-// evaporate applies Eq. 9's decay τ ← (1−ρ)τ to every pheromone cell.
+// evaporate applies Eq. 9's decay τ ← (1−ρ)τ by scaling the global factor
+// g in O(1). When g approaches underflow it is folded back into the base
+// pheromone cells (rare; see renormThreshold).
 func (r *run) evaporate() {
-	decay := 1 - r.cfg.Rho
-	if !r.dense {
-		for j := range r.tauVM {
-			r.tauVM[j] *= decay
-		}
+	r.g *= 1 - r.cfg.Rho
+	if r.g >= renormThreshold {
 		return
 	}
-	for i := range r.tau {
-		row := r.tau[i]
-		for j := range row {
-			row[j] *= decay
+	if r.dense {
+		for idx := range r.b {
+			r.b[idx] *= r.g
+			r.bAlpha[idx] = math.Pow(r.b[idx], r.cfg.Alpha)
+		}
+	} else {
+		for j := range r.bVM {
+			r.bVM[j] *= r.g
 		}
 	}
+	r.g = 1
 }
 
 // depositChunk adds delta pheromone along the current tour's edges for
-// cloudlets [lo,hi).
+// cloudlets [lo,hi): τ += delta means b += delta/g in the factored store.
 func (r *run) depositChunk(lo, hi int, delta float64) {
 	if math.IsNaN(delta) || math.IsInf(delta, 0) {
 		return
 	}
+	du := delta / r.g
 	if !r.dense {
 		for i := lo; i < hi; i++ {
-			r.tauVM[r.tour[i]] += delta
+			r.bVM[r.tour[i]] += du
 		}
 		return
 	}
 	for i := lo; i < hi; i++ {
-		r.tau[i][r.tour[i]] += delta
+		idx := i*r.m + r.tour[i]
+		r.b[idx] += du
+		r.bAlpha[idx] = math.Pow(r.b[idx], r.cfg.Alpha)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/sim"
 )
 
@@ -198,14 +199,20 @@ func (a *Autoscaler) rebalance(fresh *cloud.VM) {
 		return // nothing worth splitting
 	}
 	drained := busiest.Scheduler().Drain()
-	loads := map[*cloud.VM]float64{busiest: 0, fresh: 0}
-	for _, c := range drained {
-		target := busiest
-		if loads[fresh]+fresh.EstimateExecTime(c) < loads[busiest]+busiest.EstimateExecTime(c) {
-			target = fresh
+	// Cache the Eq. 6 estimates over the two candidate VMs once: the greedy
+	// booking below reads each estimate up to three times (two peeks plus the
+	// commit), which previously recomputed the formula every time.
+	pair := []*cloud.VM{busiest, fresh}
+	mx := objective.NewMatrix(drained, pair, objective.Options{})
+	var loadBusiest, loadFresh float64
+	for i, c := range drained {
+		if loadFresh+mx.Exec(i, 1) < loadBusiest+mx.Exec(i, 0) {
+			loadFresh += mx.Exec(i, 1)
+			fresh.Scheduler().Submit(c)
+		} else {
+			loadBusiest += mx.Exec(i, 0)
+			busiest.Scheduler().Submit(c)
 		}
-		loads[target] += target.EstimateExecTime(c)
-		target.Scheduler().Submit(c)
 	}
 }
 

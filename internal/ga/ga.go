@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/sched"
 )
 
@@ -26,6 +27,10 @@ type Config struct {
 	MutationRate float64 // per-gene reassignment probability
 	TournamentK  int     // tournament size for parent selection
 	Elite        int     // chromosomes copied unchanged each generation
+	// Workers bounds the fitness-evaluation pool; 0 means GOMAXPROCS, 1
+	// forces serial. Results are identical for every value — evaluation is
+	// pure per chromosome and randomness lives only in breeding.
+	Workers int
 }
 
 // DefaultConfig returns a conventional small-population setup.
@@ -46,6 +51,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ga: TournamentK must be in [1,Population], got %d", c.TournamentK)
 	case c.Elite < 0 || c.Elite >= c.Population:
 		return fmt.Errorf("ga: Elite must be in [0,Population), got %d", c.Elite)
+	case c.Workers < 0:
+		return fmt.Errorf("ga: Workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -70,7 +77,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.TournamentK == 0 {
 		cfg.TournamentK = def.TournamentK
 	}
-	// Elite 0 is a valid explicit choice; keep it.
+	// Elite 0 and Workers 0 are valid explicit choices; keep them.
 	return &Scheduler{cfg: cfg}
 }
 
@@ -97,42 +104,34 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 	n, m := len(ctx.Cloudlets), len(ctx.VMs)
 	rnd := ctx.Rand
 
-	// Cached per-pair execution estimates for the makespan fitness.
-	exec := make([][]float64, n)
-	for i, c := range ctx.Cloudlets {
-		exec[i] = make([]float64, m)
-		for j, vm := range ctx.VMs {
-			exec[i][j] = vm.EstimateExecTime(c)
-		}
-	}
-	vmBusy := make([]float64, m)
-	makespan := func(genes []int) float64 {
-		for j := range vmBusy {
-			vmBusy[j] = 0
-		}
-		for i, j := range genes {
-			vmBusy[j] += exec[i][j]
-		}
-		var max float64
-		for _, t := range vmBusy {
-			if t > max {
-				max = t
-			}
-		}
-		return max
-	}
+	// All Eq. 6 estimates and makespan evaluations come from the shared
+	// evaluation layer. Fitness is pure, so whole generations evaluate in one
+	// batch: breeding (which consumes randomness) runs first, evaluation
+	// (which consumes none) after, leaving the rand sequence — and therefore
+	// the result — unchanged relative to interleaved per-child evaluation
+	// while letting the batch fan out across workers.
+	mx := objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{})
+	pe := objective.NewPopEvaluator(mx, objective.Makespan, s.cfg.Workers)
+	batch := make([][]int, 0, s.cfg.Population)
+	vals := make([]float64, s.cfg.Population)
 
 	type chromo struct {
 		genes []int
 		fit   float64
 	}
 	pop := make([]chromo, s.cfg.Population)
+	batch = batch[:0]
 	for p := range pop {
 		genes := make([]int, n)
 		for i := range genes {
 			genes[i] = rnd.Intn(m)
 		}
-		pop[p] = chromo{genes: genes, fit: makespan(genes)}
+		pop[p].genes = genes
+		batch = append(batch, genes)
+	}
+	pe.Eval(batch, vals)
+	for p := range pop {
+		pop[p].fit = vals[p]
 	}
 
 	tournament := func() *chromo {
@@ -164,6 +163,7 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 			next[e].fit = pop[e].fit
 		}
 		// Breed the rest: uniform crossover + mutation.
+		batch = batch[:0]
 		for p := s.cfg.Elite; p < s.cfg.Population; p++ {
 			ma, pa := tournament(), tournament()
 			if next[p].genes == nil {
@@ -180,7 +180,11 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 					child[i] = rnd.Intn(m)
 				}
 			}
-			next[p].fit = makespan(child)
+			batch = append(batch, child)
+		}
+		pe.Eval(batch, vals)
+		for p := s.cfg.Elite; p < s.cfg.Population; p++ {
+			next[p].fit = vals[p-s.cfg.Elite]
 		}
 		pop, next = next, pop
 	}

@@ -125,3 +125,30 @@ func TestPropertyValid(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestWorkerCountInvariant: the parallel fitness pool must never change the
+// result — same seed, same schedule, for any Workers setting. The problem is
+// sized above the evaluator's serial threshold so multi-worker runs really
+// run concurrently.
+func TestWorkerCountInvariant(t *testing.T) {
+	mk := func(workers int) []sched.Assignment {
+		ctx := schedtest.Heterogeneous(t, 12, 300, 17)
+		got, err := New(Config{Population: 120, Generations: 4, Workers: workers}).Schedule(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sched.ValidateAssignments(ctx, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	ref := mk(1)
+	for _, workers := range []int{2, 8} {
+		got := mk(workers)
+		for i := range ref {
+			if got[i].VM.ID != ref[i].VM.ID {
+				t.Fatalf("Workers=%d diverged from serial at cloudlet %d", workers, i)
+			}
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/sched"
 )
 
@@ -136,7 +137,9 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 			st := chooseDatacenter(states, c, facLB)
 			vi := leastLoadedVM(st)
 			vm := st.vms[vi]
-			st.vmLoad[vi] += vm.EstimateExecTime(c)
+			// Single-pass: each (cloudlet, VM) estimate is read exactly once,
+			// so the shared layer's on-demand form beats materializing.
+			st.vmLoad[vi] += objective.ExecTime(c, vm)
 			st.assigned++
 			chosen[c] = vm
 		}

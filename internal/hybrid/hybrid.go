@@ -20,6 +20,7 @@ import (
 	"bioschedsim/internal/aco"
 	"bioschedsim/internal/cloud"
 	"bioschedsim/internal/hbo"
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/rbs"
 	"bioschedsim/internal/sched"
 )
@@ -160,9 +161,12 @@ func (s *Scheduler) classify(ctx *sched.Context) Objective {
 	if haveRate && maxRate/minRate >= s.cfg.PriceSpread {
 		return Money
 	}
-	// Compute-speed spread across the fleet.
-	minCap, maxCap := ctx.VMs[0].Capacity(), ctx.VMs[0].Capacity()
-	for _, vm := range ctx.VMs[1:] {
+	// Compute-speed spread across the fleet, scanned over the shared layer's
+	// exec-equivalence classes: the class representatives cover every
+	// distinct capacity, so the spread is identical at K≤m probes.
+	reps := objective.ClassesOf(ctx.VMs).Reps
+	minCap, maxCap := reps[0].Capacity(), reps[0].Capacity()
+	for _, vm := range reps[1:] {
 		c := vm.Capacity()
 		if c < minCap {
 			minCap = c

@@ -1,0 +1,133 @@
+package objective
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bioschedsim/internal/xrand"
+)
+
+// FitnessFunc scores one assignment vector. busy is per-worker scratch of
+// length ≥ M(); implementations must not retain it. It must be pure: the
+// score may depend only on (mx, pos), never on evaluation order — that is
+// what makes parallel evaluation deterministic.
+type FitnessFunc func(mx *Matrix, pos []int, busy []float64) float64
+
+// Makespan is the default FitnessFunc: Eq. 8's estimated makespan.
+func Makespan(mx *Matrix, pos []int, busy []float64) float64 {
+	return mx.MakespanOf(pos, busy)
+}
+
+// minParallelWork is the population-size × problem-size product below which
+// PopEvaluator stays serial: goroutine dispatch costs more than it saves on
+// small batches, and serial evaluation is trivially deterministic.
+const minParallelWork = 1 << 15
+
+// PopEvaluator evaluates populations of assignment vectors on a bounded
+// worker pool with a hard determinism contract: for a fixed matrix, fitness
+// function, and population, the output fitness vector is byte-identical for
+// every worker count (1, 2, 8, …). Each individual is scored independently
+// into its own output slot by a pure function, so worker interleaving can
+// reorder the work but never the results — the same contract
+// internal/experiments guarantees for parameter sweeps.
+type PopEvaluator struct {
+	// Mx is the evaluation matrix.
+	Mx *Matrix
+	// Fitness scores one individual; nil means Makespan.
+	Fitness FitnessFunc
+	// Workers bounds the pool; 0 means GOMAXPROCS. 1 forces serial.
+	Workers int
+
+	scratch sync.Pool
+}
+
+// NewPopEvaluator returns a population evaluator over mx.
+func NewPopEvaluator(mx *Matrix, fitness FitnessFunc, workers int) *PopEvaluator {
+	return &PopEvaluator{Mx: mx, Fitness: fitness, Workers: workers}
+}
+
+// workerCount resolves the effective pool size for items individuals.
+func (p *PopEvaluator) workerCount(items int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	// Below the dispatch break-even point parallelism only adds overhead.
+	if int64(items)*int64(p.Mx.n) < minParallelWork {
+		return 1
+	}
+	return w
+}
+
+// Eval scores every individual of pop into out (len(out) ≥ len(pop)).
+// out[i] depends only on pop[i]; worker count never changes any value.
+func (p *PopEvaluator) Eval(pop [][]int, out []float64) {
+	fitness := p.Fitness
+	if fitness == nil {
+		fitness = Makespan
+	}
+	p.run(len(pop), func(i int, busy []float64) {
+		out[i] = fitness(p.Mx, pop[i], busy)
+	})
+}
+
+// EvalSeeded scores individuals with a stochastic fitness function: item i
+// receives the i-th xrand substream of seed, so randomized scoring (noisy
+// objectives, sampled simulations) stays reproducible and, because the
+// stream depends only on (seed, i), independent of worker interleaving.
+func (p *PopEvaluator) EvalSeeded(seed uint64, pop [][]int, out []float64,
+	fitness func(mx *Matrix, pos []int, busy []float64, rng *rand.Rand) float64) {
+	p.run(len(pop), func(i int, busy []float64) {
+		out[i] = fitness(p.Mx, pop[i], busy, xrand.New(seed, uint64(i)))
+	})
+}
+
+// run executes fn(i) for i in [0, items) on the bounded pool. Each worker
+// owns one scratch buffer; items are claimed from an atomic cursor.
+func (p *PopEvaluator) run(items int, fn func(i int, busy []float64)) {
+	if items == 0 {
+		return
+	}
+	workers := p.workerCount(items)
+	if workers == 1 {
+		busy := p.getScratch()
+		for i := 0; i < items; i++ {
+			fn(i, busy)
+		}
+		p.scratch.Put(&busy)
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			busy := p.getScratch()
+			defer p.scratch.Put(&busy)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= items {
+					return
+				}
+				fn(i, busy)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func (p *PopEvaluator) getScratch() []float64 {
+	if b, ok := p.scratch.Get().(*[]float64); ok && len(*b) >= p.Mx.m {
+		return *b
+	}
+	return make([]float64, p.Mx.m)
+}

@@ -1,0 +1,115 @@
+package objective_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"bioschedsim/internal/objective"
+	"bioschedsim/internal/schedtest"
+	"bioschedsim/internal/xrand"
+)
+
+// randomPop draws pop random assignment vectors for the context.
+func randomPop(ctx *testingContext, pop int, seed int64) [][]int {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make([][]int, pop)
+	for p := range out {
+		v := make([]int, ctx.n)
+		for i := range v {
+			v[i] = rnd.Intn(ctx.m)
+		}
+		out[p] = v
+	}
+	return out
+}
+
+type testingContext struct {
+	mx   *objective.Matrix
+	n, m int
+}
+
+func newTestingContext(t *testing.T) *testingContext {
+	ctx := schedtest.Heterogeneous(t, 30, 300, 21)
+	mx := objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{})
+	return &testingContext{mx: mx, n: len(ctx.Cloudlets), m: len(ctx.VMs)}
+}
+
+// TestPopEvaluatorDeterminism is the determinism contract of the parallel
+// evaluator: for a fixed population, fitness vectors are byte-identical and
+// the best individual is the same for every worker count. The population is
+// large enough (300·200 items×genes) to clear the serial threshold, so the
+// multi-worker runs genuinely race goroutines over the shared cursor.
+func TestPopEvaluatorDeterminism(t *testing.T) {
+	tc := newTestingContext(t)
+	pop := randomPop(tc, 200, 22)
+	ref := make([]float64, len(pop))
+	objective.NewPopEvaluator(tc.mx, nil, 1).Eval(pop, ref)
+	argmin := func(v []float64) int {
+		best := 0
+		for i := range v {
+			if v[i] < v[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	// The serial reference must agree with direct evaluation.
+	busy := make([]float64, tc.m)
+	for p := range pop {
+		if bits(ref[p]) != bits(tc.mx.MakespanOf(pop[p], busy)) {
+			t.Fatalf("serial fitness %d disagrees with direct evaluation", p)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got := make([]float64, len(pop))
+		objective.NewPopEvaluator(tc.mx, objective.Makespan, workers).Eval(pop, got)
+		for p := range pop {
+			if bits(got[p]) != bits(ref[p]) {
+				t.Fatalf("workers=%d: fitness[%d]=%v differs from serial %v", workers, p, got[p], ref[p])
+			}
+		}
+		if a, b := argmin(got), argmin(ref); a != b {
+			t.Fatalf("workers=%d: best individual %d differs from serial %d", workers, a, b)
+		}
+	}
+}
+
+func TestPopEvaluatorSmallAndEmpty(t *testing.T) {
+	tc := newTestingContext(t)
+	pe := objective.NewPopEvaluator(tc.mx, nil, 0) // GOMAXPROCS default
+	pe.Eval(nil, nil)                              // empty population: no-op
+	pop := randomPop(tc, 3, 23)                    // below the serial threshold
+	out := make([]float64, len(pop))
+	pe.Eval(pop, out)
+	busy := make([]float64, tc.m)
+	for p := range pop {
+		if bits(out[p]) != bits(tc.mx.MakespanOf(pop[p], busy)) {
+			t.Fatalf("small-batch fitness %d mismatch", p)
+		}
+	}
+}
+
+// TestEvalSeeded: item i must see exactly the (seed, i) substream no matter
+// how many workers interleave, making stochastic fitness reproducible.
+func TestEvalSeeded(t *testing.T) {
+	tc := newTestingContext(t)
+	pop := randomPop(tc, 150, 24)
+	const seed = 99
+	fitness := func(mx *objective.Matrix, pos []int, busy []float64, rng *rand.Rand) float64 {
+		return mx.MakespanOf(pos, busy) * (1 + rng.Float64())
+	}
+	want := make([]float64, len(pop))
+	busy := make([]float64, tc.m)
+	for i := range pop {
+		want[i] = tc.mx.MakespanOf(pop[i], busy) * (1 + xrand.New(seed, uint64(i)).Float64())
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got := make([]float64, len(pop))
+		objective.NewPopEvaluator(tc.mx, nil, workers).EvalSeeded(seed, pop, got, fitness)
+		for i := range got {
+			if bits(got[i]) != bits(want[i]) {
+				t.Fatalf("workers=%d: seeded fitness[%d]=%v want %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -19,7 +19,42 @@ import (
 	"math/rand"
 
 	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective"
 )
+
+// fleetClasses caches the VM exec-equivalence partition of the current fleet
+// so per-arrival policies price a cloudlet with K Eq. 6 evaluations (one per
+// distinct VM class) instead of one per VM. The partition rebuilds lazily
+// whenever the fleet slice changes (autoscaling, decommissioning).
+type fleetClasses struct {
+	fleet []*cloud.VM
+	cls   *objective.Classes
+	buf   []float64
+}
+
+func (f *fleetClasses) ensure(vms []*cloud.VM) {
+	if len(f.fleet) == len(vms) {
+		same := true
+		for i := range vms {
+			if f.fleet[i] != vms[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	f.cls = objective.ClassesOf(vms)
+	f.buf = make([]float64, f.cls.K)
+	f.fleet = append(f.fleet[:0], vms...)
+}
+
+// execTimes returns c's per-class Eq. 6 estimates and the VM→class map.
+func (f *fleetClasses) execTimes(c *cloud.Cloudlet, vms []*cloud.VM) ([]float64, []int32) {
+	f.ensure(vms)
+	return f.cls.ExecTimes(c, f.buf), f.cls.Index
+}
 
 // Scheduler places one arriving cloudlet at a time. Implementations may
 // keep state across placements (cursors, pheromone, profitability) and
@@ -83,7 +118,9 @@ func (*LeastLoaded) Place(c *cloud.Cloudlet, vms []*cloud.VM) (*cloud.VM, error)
 // EarliestFinish places each arrival on the VM minimizing the estimated
 // completion time given current residency: (resident+1) · d(c, vm) under
 // processor sharing.
-type EarliestFinish struct{}
+type EarliestFinish struct {
+	fleet fleetClasses
+}
 
 // NewEarliestFinish returns an online earliest-finish placer.
 func NewEarliestFinish() *EarliestFinish { return &EarliestFinish{} }
@@ -92,11 +129,12 @@ func NewEarliestFinish() *EarliestFinish { return &EarliestFinish{} }
 func (*EarliestFinish) Name() string { return "online-eft" }
 
 // Place implements Scheduler.
-func (*EarliestFinish) Place(c *cloud.Cloudlet, vms []*cloud.VM) (*cloud.VM, error) {
+func (s *EarliestFinish) Place(c *cloud.Cloudlet, vms []*cloud.VM) (*cloud.VM, error) {
+	times, cls := s.fleet.execTimes(c, vms)
 	best := vms[0]
 	bestETA := math.Inf(1)
-	for _, vm := range vms {
-		eta := float64(vm.QueuedOrRunning()+1) * vm.EstimateExecTime(c)
+	for i, vm := range vms {
+		eta := float64(vm.QueuedOrRunning()+1) * times[cls[i]]
 		if eta < bestETA {
 			best, bestETA = vm, eta
 		}
@@ -157,7 +195,8 @@ type ACO struct {
 	Q     float64 // deposit constant (paper Table II: 100)
 	rand  *rand.Rand
 
-	tau map[*cloud.VM]float64
+	tau   map[*cloud.VM]float64
+	fleet fleetClasses
 }
 
 // NewACO returns an online ACO placer with Table II parameters; rnd must be
@@ -174,6 +213,7 @@ func (s *ACO) Place(c *cloud.Cloudlet, vms []*cloud.VM) (*cloud.VM, error) {
 	if s.rand == nil {
 		return nil, fmt.Errorf("online: ACO requires a random source")
 	}
+	times, cls := s.fleet.execTimes(c, vms)
 	weights := make([]float64, len(vms))
 	total := 0.0
 	for i, vm := range vms {
@@ -182,7 +222,7 @@ func (s *ACO) Place(c *cloud.Cloudlet, vms []*cloud.VM) (*cloud.VM, error) {
 			tau = 1
 		}
 		// Congestion-aware heuristic: idealized time inflated by residency.
-		d := float64(vm.QueuedOrRunning()+1) * vm.EstimateExecTime(c)
+		d := float64(vm.QueuedOrRunning()+1) * times[cls[i]]
 		w := math.Pow(tau, s.Alpha) * math.Pow(1/d, s.Beta)
 		weights[i] = w
 		total += w

@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"math"
 
-	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/sched"
 )
 
@@ -174,37 +174,28 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 	return out, nil
 }
 
-// fitness evaluates positions under an Objective with cached per-pair terms.
+// fitness evaluates positions under an Objective on the shared evaluation
+// layer. The compressed matrix caches execution estimates per VM class; the
+// cost matrix is only built when the objective actually reads costs, which
+// the private per-algorithm matrices this replaced always paid for.
 type fitness struct {
-	ctx       *sched.Context
 	objective Objective
-	exec      [][]float64 // estimated execution seconds per (cloudlet, VM)
-	cost      [][]float64 // processing cost per (cloudlet, VM)
-	vmBusy    []float64   // scratch
-	normTime  float64     // normalizers for Combined
+	mx        *objective.Matrix
+	vmBusy    []float64 // scratch for MakespanOf
+	normTime  float64   // normalizers for Combined
 	normCost  float64
 }
 
-func newFitness(ctx *sched.Context, objective Objective) *fitness {
-	n, m := len(ctx.Cloudlets), len(ctx.VMs)
-	f := &fitness{ctx: ctx, objective: objective, vmBusy: make([]float64, m)}
-	f.exec = make([][]float64, n)
-	f.cost = make([][]float64, n)
-	for i, c := range ctx.Cloudlets {
-		f.exec[i] = make([]float64, m)
-		f.cost[i] = make([]float64, m)
-		for j, vm := range ctx.VMs {
-			f.exec[i][j] = vm.EstimateExecTime(c)
-			f.cost[i][j] = cloud.ProcessingCost(c, vm)
-			f.normTime += f.exec[i][j]
-			f.normCost += f.cost[i][j]
-		}
+func newFitness(ctx *sched.Context, obj Objective) *fitness {
+	f := &fitness{
+		objective: obj,
+		mx: objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{
+			WithCost: obj != Makespan,
+		}),
+		vmBusy: make([]float64, len(ctx.VMs)),
 	}
-	if f.normTime == 0 {
-		f.normTime = 1
-	}
-	if f.normCost == 0 {
-		f.normCost = 1
+	if obj == Combined {
+		f.normTime, f.normCost = f.mx.Norms()
 	}
 	return f
 }
@@ -212,38 +203,15 @@ func newFitness(ctx *sched.Context, objective Objective) *fitness {
 func (f *fitness) eval(pos []int) float64 {
 	switch f.objective {
 	case Cost:
-		var total float64
-		for i, j := range pos {
-			total += f.cost[i][j]
-		}
-		return total
+		return f.mx.CostOf(pos)
 	case Makespan:
-		return f.makespan(pos)
+		return f.mx.MakespanOf(pos, f.vmBusy)
 	case Combined:
-		var totalCost float64
-		for i, j := range pos {
-			totalCost += f.cost[i][j]
-		}
-		return f.makespan(pos)/f.normTime + totalCost/f.normCost
+		totalCost := f.mx.CostOf(pos)
+		return f.mx.MakespanOf(pos, f.vmBusy)/f.normTime + totalCost/f.normCost
 	default:
 		panic(fmt.Sprintf("pso: unknown objective %d", int(f.objective)))
 	}
-}
-
-func (f *fitness) makespan(pos []int) float64 {
-	for j := range f.vmBusy {
-		f.vmBusy[j] = 0
-	}
-	for i, j := range pos {
-		f.vmBusy[j] += f.exec[i][j]
-	}
-	var max float64
-	for _, t := range f.vmBusy {
-		if t > max {
-			max = t
-		}
-	}
-	return max
 }
 
 func init() {

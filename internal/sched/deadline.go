@@ -25,9 +25,13 @@ func (*Deadline) Schedule(ctx *Context) ([]Assignment, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
-	order := append([]*cloud.Cloudlet(nil), ctx.Cloudlets...)
-	sort.SliceStable(order, func(i, j int) bool {
-		di, dj := order[i].Deadline, order[j].Deadline
+	order := make([]int, len(ctx.Cloudlets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := ctx.Cloudlets[order[a]], ctx.Cloudlets[order[b]]
+		di, dj := ca.Deadline, cb.Deadline
 		switch {
 		case di != 0 && dj != 0:
 			return di < dj // EDF among constrained cloudlets
@@ -36,19 +40,19 @@ func (*Deadline) Schedule(ctx *Context) ([]Assignment, error) {
 		case dj != 0:
 			return false
 		default:
-			return order[i].Length > order[j].Length // LPT among the rest
+			return ca.Length > cb.Length // LPT among the rest
 		}
 	})
-	rt := newReadyTimes(ctx.VMs)
-	chosen := make(map[*cloud.Cloudlet]*cloud.VM, len(order))
-	for _, c := range order {
-		v := rt.bestVM(c)
-		rt.assign(c, v)
-		chosen[c] = ctx.VMs[v]
+	rt := newReadyTimes(ctx)
+	chosen := make([]*cloud.VM, len(ctx.Cloudlets))
+	for _, i := range order {
+		v := rt.bestVM(i)
+		rt.assign(i, v)
+		chosen[i] = ctx.VMs[v]
 	}
 	out := make([]Assignment, len(ctx.Cloudlets))
 	for i, c := range ctx.Cloudlets {
-		out[i] = Assignment{Cloudlet: c, VM: chosen[c]}
+		out[i] = Assignment{Cloudlet: c, VM: chosen[i]}
 	}
 	return out, nil
 }

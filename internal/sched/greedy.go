@@ -4,35 +4,41 @@ import (
 	"sort"
 
 	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective"
 )
 
 // readyTimes tracks the estimated time at which each VM becomes free, the
-// standard bookkeeping of list-scheduling heuristics.
+// standard bookkeeping of list-scheduling heuristics. All Eq. 6 estimates
+// come from one shared objective.Matrix built per Schedule call, so peeking
+// at a completion time and committing the assignment read the same cached
+// cell instead of recomputing the estimate.
 type readyTimes struct {
-	vms   []*cloud.VM
+	mx    *objective.Matrix
 	ready []float64
 }
 
-func newReadyTimes(vms []*cloud.VM) *readyTimes {
-	return &readyTimes{vms: vms, ready: make([]float64, len(vms))}
+func newReadyTimes(ctx *Context) *readyTimes {
+	return &readyTimes{
+		mx:    objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{}),
+		ready: make([]float64, len(ctx.VMs)),
+	}
 }
 
-// completion returns the estimated completion time of c on VM index v.
-func (r *readyTimes) completion(c *cloud.Cloudlet, v int) float64 {
-	return r.ready[v] + r.vms[v].EstimateExecTime(c)
+// completion returns the estimated completion time of cloudlet i on VM v.
+func (r *readyTimes) completion(i, v int) float64 {
+	return r.ready[v] + r.mx.Exec(i, v)
 }
 
-// assign books c onto VM index v and returns the assignment.
-func (r *readyTimes) assign(c *cloud.Cloudlet, v int) Assignment {
-	r.ready[v] += r.vms[v].EstimateExecTime(c)
-	return Assignment{Cloudlet: c, VM: r.vms[v]}
+// assign books cloudlet i onto VM v.
+func (r *readyTimes) assign(i, v int) {
+	r.ready[v] += r.mx.Exec(i, v)
 }
 
-// bestVM returns the VM index minimizing completion time for c.
-func (r *readyTimes) bestVM(c *cloud.Cloudlet) int {
-	best, bestCT := 0, r.completion(c, 0)
-	for v := 1; v < len(r.vms); v++ {
-		if ct := r.completion(c, v); ct < bestCT {
+// bestVM returns the VM index minimizing completion time for cloudlet i.
+func (r *readyTimes) bestVM(i int) int {
+	best, bestCT := 0, r.completion(i, 0)
+	for v := 1; v < r.mx.M(); v++ {
+		if ct := r.completion(i, v); ct < bestCT {
 			best, bestCT = v, ct
 		}
 	}
@@ -56,10 +62,12 @@ func (*Greedy) Schedule(ctx *Context) ([]Assignment, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
-	rt := newReadyTimes(ctx.VMs)
+	rt := newReadyTimes(ctx)
 	out := make([]Assignment, len(ctx.Cloudlets))
 	for i, c := range ctx.Cloudlets {
-		out[i] = rt.assign(c, rt.bestVM(c))
+		v := rt.bestVM(i)
+		rt.assign(i, v)
+		out[i] = Assignment{Cloudlet: c, VM: ctx.VMs[v]}
 	}
 	return out, nil
 }
@@ -105,19 +113,20 @@ func minMaxSchedule(ctx *Context, pickMax bool) ([]Assignment, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
-	rt := newReadyTimes(ctx.VMs)
+	rt := newReadyTimes(ctx)
 	n := len(ctx.Cloudlets)
 	type cand struct {
-		cl   *cloud.Cloudlet
+		idx  int // cloudlet index
 		vm   int
 		ct   float64
 		done bool
 	}
 	cands := make([]cand, n)
-	for i, c := range ctx.Cloudlets {
-		v := rt.bestVM(c)
-		cands[i] = cand{cl: c, vm: v, ct: rt.completion(c, v)}
+	for i := range ctx.Cloudlets {
+		v := rt.bestVM(i)
+		cands[i] = cand{idx: i, vm: v, ct: rt.completion(i, v)}
 	}
+	length := func(i int) float64 { return ctx.Cloudlets[i].Length }
 	out := make([]Assignment, 0, n)
 	for len(out) < n {
 		pick := -1
@@ -132,8 +141,8 @@ func minMaxSchedule(ctx *Context, pickMax bool) ([]Assignment, error) {
 			if pickMax {
 				// Max-Min compares by task size first: largest task, then
 				// earliest completion for determinism.
-				if cands[i].cl.Length > cands[pick].cl.Length ||
-					(cands[i].cl.Length == cands[pick].cl.Length && cands[i].ct < cands[pick].ct) {
+				if length(cands[i].idx) > length(cands[pick].idx) ||
+					(length(cands[i].idx) == length(cands[pick].idx) && cands[i].ct < cands[pick].ct) {
 					pick = i
 				}
 			} else if cands[i].ct < cands[pick].ct {
@@ -143,16 +152,17 @@ func minMaxSchedule(ctx *Context, pickMax bool) ([]Assignment, error) {
 		chosen := &cands[pick]
 		// Refresh the cached best VM: it may be stale if that VM was loaded
 		// since the cache was computed.
-		v := rt.bestVM(chosen.cl)
-		out = append(out, rt.assign(chosen.cl, v))
+		v := rt.bestVM(chosen.idx)
+		rt.assign(chosen.idx, v)
+		out = append(out, Assignment{Cloudlet: ctx.Cloudlets[chosen.idx], VM: ctx.VMs[v]})
 		chosen.done = true
 		// Invalidate caches pointing at the VM we just loaded.
 		for i := range cands {
 			if cands[i].done || cands[i].vm != v {
 				continue
 			}
-			nv := rt.bestVM(cands[i].cl)
-			cands[i].vm, cands[i].ct = nv, rt.completion(cands[i].cl, nv)
+			nv := rt.bestVM(cands[i].idx)
+			cands[i].vm, cands[i].ct = nv, rt.completion(cands[i].idx, nv)
 		}
 	}
 	return out, nil
@@ -177,20 +187,20 @@ func (*Sufferage) Schedule(ctx *Context) ([]Assignment, error) {
 	if err := ctx.Validate(); err != nil {
 		return nil, err
 	}
-	rt := newReadyTimes(ctx.VMs)
+	rt := newReadyTimes(ctx)
 	n := len(ctx.Cloudlets)
 	type cand struct {
-		cl        *cloud.Cloudlet
+		idx       int // cloudlet index
 		best      int // VM index of best completion
 		sufferage float64
 		done      bool
 	}
-	// bestTwo computes the best VM and the sufferage value for c.
-	bestTwo := func(c *cloud.Cloudlet) (int, float64) {
+	// bestTwo computes the best VM and the sufferage value for cloudlet i.
+	bestTwo := func(i int) (int, float64) {
 		best, second := -1, -1
 		var bestCT, secondCT float64
 		for v := range ctx.VMs {
-			ct := rt.completion(c, v)
+			ct := rt.completion(i, v)
 			switch {
 			case best == -1 || ct < bestCT:
 				second, secondCT = best, bestCT
@@ -205,11 +215,11 @@ func (*Sufferage) Schedule(ctx *Context) ([]Assignment, error) {
 		return best, secondCT - bestCT
 	}
 	cands := make([]cand, n)
-	for i, c := range ctx.Cloudlets {
-		b, s := bestTwo(c)
-		cands[i] = cand{cl: c, best: b, sufferage: s}
+	for i := range ctx.Cloudlets {
+		b, s := bestTwo(i)
+		cands[i] = cand{idx: i, best: b, sufferage: s}
 	}
-	chosen := make(map[*cloud.Cloudlet]*cloud.VM, n)
+	chosen := make([]*cloud.VM, n)
 	for assigned := 0; assigned < n; assigned++ {
 		pick := -1
 		for i := range cands {
@@ -222,22 +232,22 @@ func (*Sufferage) Schedule(ctx *Context) ([]Assignment, error) {
 		}
 		chosenCand := &cands[pick]
 		// Refresh: the cached best may be stale.
-		b, _ := bestTwo(chosenCand.cl)
-		rt.assign(chosenCand.cl, b)
-		chosen[chosenCand.cl] = ctx.VMs[b]
+		b, _ := bestTwo(chosenCand.idx)
+		rt.assign(chosenCand.idx, b)
+		chosen[chosenCand.idx] = ctx.VMs[b]
 		chosenCand.done = true
 		// Invalidate candidates whose cached best was the VM just loaded.
 		for i := range cands {
 			if cands[i].done || cands[i].best != b {
 				continue
 			}
-			nb, ns := bestTwo(cands[i].cl)
+			nb, ns := bestTwo(cands[i].idx)
 			cands[i].best, cands[i].sufferage = nb, ns
 		}
 	}
 	out := make([]Assignment, n)
 	for i, c := range ctx.Cloudlets {
-		out[i] = Assignment{Cloudlet: c, VM: chosen[c]}
+		out[i] = Assignment{Cloudlet: c, VM: chosen[i]}
 	}
 	return out, nil
 }

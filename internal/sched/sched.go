@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective"
 )
 
 // Context is the immutable scheduling problem handed to a Scheduler.
@@ -108,23 +109,18 @@ func Split(assignments []Assignment) ([]*cloud.Cloudlet, []*cloud.VM) {
 }
 
 // Load summarizes the estimated execution seconds each VM would absorb under
-// an assignment; schedulers and tests use it to reason about balance.
+// an assignment; schedulers and tests use it to reason about balance. It
+// delegates to the shared evaluation layer so the helper and the search
+// algorithms can never drift on Eq. 6/8 semantics.
 func Load(assignments []Assignment) map[*cloud.VM]float64 {
-	load := make(map[*cloud.VM]float64)
-	for _, a := range assignments {
-		load[a.VM] += a.VM.EstimateExecTime(a.Cloudlet)
-	}
-	return load
+	cls, vms := Split(assignments)
+	return objective.VMLoads(cls, vms)
 }
 
-// EstimatedMakespan returns the max per-VM estimated load — the quantity
-// compute-oriented schedulers try to minimize.
+// EstimatedMakespan returns the max per-VM estimated load (Eq. 8) — the
+// quantity compute-oriented schedulers try to minimize — via the shared
+// evaluation layer.
 func EstimatedMakespan(assignments []Assignment) float64 {
-	var max float64
-	for _, l := range Load(assignments) {
-		if l > max {
-			max = l
-		}
-	}
-	return max
+	cls, vms := Split(assignments)
+	return objective.EstimatedMakespan(cls, vms)
 }

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 
 	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/sched"
 	"bioschedsim/internal/xrand"
 )
@@ -205,14 +206,11 @@ func AssignDeadlines(cloudlets []*cloud.Cloudlet, vms []*cloud.VM, slack float64
 	if len(vms) == 0 {
 		return fmt.Errorf("workload: no VMs to derive deadlines from")
 	}
+	// Partitioning the fleet into exec-equivalence classes makes the best-case
+	// scan K evaluations per cloudlet instead of one per VM.
+	classes := objective.ClassesOf(vms)
 	for _, c := range cloudlets {
-		best := vms[0].EstimateExecTime(c)
-		for _, vm := range vms[1:] {
-			if t := vm.EstimateExecTime(c); t < best {
-				best = t
-			}
-		}
-		c.Deadline = best * slack
+		c.Deadline = classes.MinExecTime(c) * slack
 	}
 	return nil
 }
