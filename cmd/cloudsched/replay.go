@@ -15,25 +15,7 @@ import (
 
 // onlinePolicy builds a per-arrival policy by name.
 func onlinePolicy(name string, seed int64) (online.Scheduler, error) {
-	rnd := rand.New(rand.NewSource(seed))
-	switch name {
-	case "online-rr":
-		return online.NewRoundRobin(), nil
-	case "online-least":
-		return online.NewLeastLoaded(), nil
-	case "online-eft":
-		return online.NewEarliestFinish(), nil
-	case "online-aco":
-		return online.NewACO(rnd), nil
-	case "online-hbo":
-		return online.NewHBO(rnd), nil
-	case "online-rbs":
-		return online.NewRBS(rnd), nil
-	case "online-2choice":
-		return online.NewTwoChoices(rnd), nil
-	default:
-		return nil, fmt.Errorf("unknown online policy %q (have online-rr, online-least, online-eft, online-aco, online-hbo, online-rbs, online-2choice)", name)
-	}
+	return online.NewPolicy(name, rand.New(rand.NewSource(seed)))
 }
 
 // cmdReplay replays a workload trace file through an online policy.

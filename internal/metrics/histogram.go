@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Histogram is a thread-safe fixed-bucket histogram in the cumulative style
+// Prometheus expects: observation x lands in the first bucket whose upper
+// bound is ≥ x, and a snapshot reports, per bound, how many observations
+// were ≤ it, plus the running sum and count. The scheduling service records
+// per-scheduler scheduling-time distributions with it; nothing in it is
+// HTTP-specific, so ablation harnesses can reuse it for any latency-shaped
+// quantity.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []uint64  // len(bounds)+1; counts[len(bounds)] is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// It panics on empty, unsorted, duplicate, or non-finite bounds — bucket
+// layouts are static configuration, where failing fast at construction is
+// the only sensible behaviour.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("metrics: non-finite histogram bound %v", b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly ascending at index %d (%v after %v)", i, b, bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n exponentially spaced bounds start, start·factor,
+// start·factor², … — the standard layout for latency histograms. It panics
+// on non-positive start, factor ≤ 1, or n < 1.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: invalid ExpBuckets(%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Observe records one value. NaN observations are dropped — they would
+// poison the sum without being attributable to any bucket.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// HistogramSnapshot is a consistent point-in-time view of a Histogram.
+type HistogramSnapshot struct {
+	Bounds     []float64 // upper bounds, ascending (excludes +Inf)
+	Cumulative []uint64  // per bound: observations ≤ bound
+	Sum        float64
+	Count      uint64 // total observations, including the +Inf bucket
+}
+
+// Snapshot returns a cumulative view suitable for direct rendering as
+// Prometheus `_bucket`/`_sum`/`_count` series.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{
+		Bounds:     h.bounds, // immutable after construction
+		Cumulative: make([]uint64, len(h.bounds)),
+		Sum:        h.sum,
+		Count:      h.count,
+	}
+	var running uint64
+	for i := range h.bounds {
+		running += h.counts[i]
+		snap.Cumulative[i] = running
+	}
+	return snap
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramCumulativeSemantics(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	if snap.Count != 6 {
+		t.Fatalf("count = %d, want 6", snap.Count)
+	}
+	// ≤1: {0.5, 1}; ≤10: +{5}; ≤100: +{50}; +Inf: +{500, 5000}.
+	want := []uint64{2, 3, 4}
+	for i, w := range want {
+		if snap.Cumulative[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (snapshot %+v)", i, snap.Cumulative[i], w, snap)
+		}
+	}
+	if got, wantSum := snap.Sum, 0.5+1+5+50+500+5000; got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestHistogramDropsNaN(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(math.NaN())
+	h.Observe(0.5)
+	snap := h.Snapshot()
+	if snap.Count != 1 || math.IsNaN(snap.Sum) {
+		t.Fatalf("NaN observation polluted the histogram: %+v", snap)
+	}
+}
+
+func TestHistogramRejectsBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":      {},
+		"descending": {10, 1},
+		"duplicate":  {1, 1},
+		"nan":        {math.NaN()},
+		"inf":        {math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds accepted", name)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1e-3, 10, 4)
+	want := []float64{1e-3, 1e-2, 1e-1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ExpBuckets(0, 2, 3) accepted")
+			}
+		}()
+		ExpBuckets(0, 2, 3)
+	}()
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 8))
+	const goroutines, perG = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG+i) / 10)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d", snap.Count, goroutines*perG)
+	}
+	if snap.Cumulative[len(snap.Cumulative)-1] > snap.Count {
+		t.Fatalf("cumulative exceeds count: %+v", snap)
+	}
+}

@@ -1,0 +1,48 @@
+package online
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// policyFactories maps policy names to constructors. Unlike the batch
+// registry in internal/sched, the set is closed: online policies live in
+// this package, so a static table keeps lookups allocation-free and the
+// name list stable.
+var policyFactories = map[string]func(rnd *rand.Rand) Scheduler{
+	"online-rr":      func(*rand.Rand) Scheduler { return NewRoundRobin() },
+	"online-least":   func(*rand.Rand) Scheduler { return NewLeastLoaded() },
+	"online-eft":     func(*rand.Rand) Scheduler { return NewEarliestFinish() },
+	"online-aco":     func(rnd *rand.Rand) Scheduler { return NewACO(rnd) },
+	"online-hbo":     func(rnd *rand.Rand) Scheduler { return NewHBO(rnd) },
+	"online-rbs":     func(rnd *rand.Rand) Scheduler { return NewRBS(rnd) },
+	"online-2choice": func(rnd *rand.Rand) Scheduler { return NewTwoChoices(rnd) },
+}
+
+// NewPolicy builds the per-arrival policy registered under name. Stochastic
+// policies draw from rnd; deterministic ones ignore it. rnd must not be nil
+// for online-aco, online-hbo, online-rbs, and online-2choice.
+func NewPolicy(name string, rnd *rand.Rand) (Scheduler, error) {
+	f, ok := policyFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("online: unknown policy %q (have %v)", name, PolicyNames())
+	}
+	return f(rnd), nil
+}
+
+// IsPolicy reports whether name identifies an online policy.
+func IsPolicy(name string) bool {
+	_, ok := policyFactories[name]
+	return ok
+}
+
+// PolicyNames lists the online policies in sorted order.
+func PolicyNames() []string {
+	out := make([]string, 0, len(policyFactories))
+	for name := range policyFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,12 +1,26 @@
 package online
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"bioschedsim/internal/cloud"
 	"bioschedsim/internal/metrics"
 	"bioschedsim/internal/sim"
 )
+
+// ErrEmptyBatch reports a run or flush that carried no cloudlets. Callers
+// that coalesce submissions (the scheduling service's time-bounded batcher)
+// legitimately produce empty flushes and use errors.Is to distinguish this
+// from real failures.
+var ErrEmptyBatch = errors.New("online: empty cloudlet batch")
+
+// validArrival reports whether a is a usable arrival offset: finite and
+// non-negative.
+func validArrival(a float64) bool {
+	return a >= 0 && !math.IsNaN(a) && !math.IsInf(a, 0)
+}
 
 // Result summarizes an online run.
 type Result struct {
@@ -23,16 +37,23 @@ type Result struct {
 // arrives at arrivals[i] seconds, scheduler.Place picks its VM using only
 // the fleet's state at that instant, and completion feedback reaches
 // schedulers implementing Feedback. The cloudlets must be fresh (created
-// state); arrivals must be non-negative and len(arrivals)==len(cloudlets).
+// state); arrivals need not be sorted but every element must be finite and
+// non-negative, and len(arrivals)==len(cloudlets). An empty batch returns
+// ErrEmptyBatch.
 func Run(env *cloud.Environment, scheduler Scheduler, cloudlets []*cloud.Cloudlet, arrivals []float64, factory cloud.SchedulerFactory) (*Result, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
 	if len(cloudlets) == 0 {
-		return nil, fmt.Errorf("online: empty cloudlet batch")
+		return nil, ErrEmptyBatch
 	}
 	if len(arrivals) != len(cloudlets) {
 		return nil, fmt.Errorf("online: %d arrivals for %d cloudlets", len(arrivals), len(cloudlets))
+	}
+	for i, a := range arrivals {
+		if !validArrival(a) {
+			return nil, fmt.Errorf("online: invalid arrival %v at index %d (want finite, non-negative)", a, i)
+		}
 	}
 	eng := sim.NewEngine()
 	broker := cloud.NewBroker(eng, env, factory)
@@ -46,9 +67,6 @@ func Run(env *cloud.Environment, scheduler Scheduler, cloudlets []*cloud.Cloudle
 
 	var placeErr error
 	for i, c := range cloudlets {
-		if arrivals[i] < 0 {
-			return nil, fmt.Errorf("online: negative arrival %v at index %d", arrivals[i], i)
-		}
 		c := c
 		eng.ScheduleAt(arrivals[i], sim.PriorityAcquire, func() {
 			if placeErr != nil {

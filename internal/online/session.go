@@ -1,0 +1,124 @@
+package online
+
+import (
+	"fmt"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/sim"
+)
+
+// Session is a long-lived incremental scheduling context: one engine and one
+// broker survive across many batches, so placements always see the fleet's
+// live residency and completion feedback accumulates in the policy instead
+// of resetting per run. This is the execution substrate of the scheduling
+// service (internal/service): each flushed batch is placed — per-arrival by
+// an online policy, or wholesale from a batch scheduler's assignment — and
+// then Run drains the engine, advancing the shared simulated clock.
+//
+// A Session is not safe for concurrent use; callers serialize access (the
+// service holds one mutex around place/submit/run).
+type Session struct {
+	env      *cloud.Environment
+	eng      *sim.Engine
+	broker   *cloud.Broker
+	policy   Scheduler // nil when the session only receives pre-placed work
+	onFinish cloud.FinishFunc
+	drained  int // prefix of broker.Finished() already returned by Run
+}
+
+// NewSession validates env and binds a fresh engine and broker to it. policy
+// may be nil for sessions that only accept externally assigned placements
+// via SubmitPlaced. If the policy implements Feedback it receives completion
+// reports for every cloudlet the session finishes.
+func NewSession(env *cloud.Environment, policy Scheduler, factory cloud.SchedulerFactory) (*Session, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if len(env.VMs) == 0 {
+		return nil, fmt.Errorf("online: session over empty fleet")
+	}
+	eng := sim.NewEngine()
+	s := &Session{env: env, eng: eng, policy: policy}
+	s.broker = cloud.NewBroker(eng, env, factory)
+	learner, _ := policy.(Feedback)
+	s.broker.OnFinish(func(c *cloud.Cloudlet) {
+		if learner != nil {
+			learner.Completed(c, c.ExecTime())
+		}
+		if s.onFinish != nil {
+			s.onFinish(c)
+		}
+	})
+	return s, nil
+}
+
+// OnFinish registers a hook invoked at each cloudlet completion, after any
+// policy feedback. It must be set before work is submitted.
+func (s *Session) OnFinish(fn cloud.FinishFunc) { s.onFinish = fn }
+
+// Now returns the session's current simulated time. The clock only moves
+// forward: each Run resumes where the previous one stopped.
+func (s *Session) Now() sim.Time { return s.eng.Now() }
+
+// Environment returns the live environment the session schedules against.
+func (s *Session) Environment() *cloud.Environment { return s.env }
+
+// Place picks a VM for c with the session's policy against the fleet's
+// current residency and submits it at the session's current time, so
+// consecutive placements within one batch see each other's load.
+func (s *Session) Place(c *cloud.Cloudlet) (*cloud.VM, error) {
+	if s.policy == nil {
+		return nil, fmt.Errorf("online: session has no placement policy")
+	}
+	vm, err := s.policy.Place(c, s.env.VMs)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.SubmitPlaced(c, vm); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+// PlaceBatch places each cloudlet of a flushed batch in order. An empty
+// batch returns ErrEmptyBatch so callers can treat time-triggered empty
+// flushes as a no-op rather than a failure.
+func (s *Session) PlaceBatch(cloudlets []*cloud.Cloudlet) error {
+	if len(cloudlets) == 0 {
+		return ErrEmptyBatch
+	}
+	for i, c := range cloudlets {
+		if _, err := s.Place(c); err != nil {
+			return fmt.Errorf("online: placing cloudlet %d (batch index %d): %w", c.ID, i, err)
+		}
+	}
+	return nil
+}
+
+// SubmitPlaced hands an externally assigned (cloudlet, VM) pair to the
+// session's broker at the current time — the path batch schedulers use to
+// reuse one broker across flushes.
+func (s *Session) SubmitPlaced(c *cloud.Cloudlet, vm *cloud.VM) error {
+	if c == nil || vm == nil {
+		return fmt.Errorf("online: nil cloudlet or VM in placement")
+	}
+	if vm.Scheduler() == nil {
+		return fmt.Errorf("online: VM %d has no bound cloudlet scheduler", vm.ID)
+	}
+	s.broker.Submit(c, vm)
+	return nil
+}
+
+// Run drains every scheduled event and returns the cloudlets that finished
+// since the previous Run, in completion order. The returned slice aliases
+// the broker's history; callers must not mutate it.
+func (s *Session) Run() []*cloud.Cloudlet {
+	s.eng.Run()
+	fin := s.broker.Finished()
+	out := fin[s.drained:]
+	s.drained = len(fin)
+	return out
+}
+
+// Finished returns every cloudlet the session has completed since creation.
+func (s *Session) Finished() []*cloud.Cloudlet { return s.broker.Finished() }

@@ -1,0 +1,185 @@
+package online
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bioschedsim/internal/cloud"
+)
+
+func TestRunEmptyBatchIsTyped(t *testing.T) {
+	env, _ := hetEnv(t, 2, 4, 31)
+	_, err := Run(env, NewRoundRobin(), nil, nil, cloud.TimeSharedFactory)
+	if !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("want ErrEmptyBatch, got %v", err)
+	}
+}
+
+func TestRunRejectsInvalidArrivalElements(t *testing.T) {
+	env, cls := hetEnv(t, 2, 4, 31)
+	cases := map[string][]float64{
+		"negative": {0, 1, -0.5, 2},
+		"nan":      {0, math.NaN(), 1, 2},
+		"+inf":     {0, 1, math.Inf(1), 2},
+		"-inf":     {0, 1, 2, math.Inf(-1)},
+	}
+	for name, arrivals := range cases {
+		if _, err := Run(env, NewRoundRobin(), cls, arrivals, cloud.TimeSharedFactory); err == nil {
+			t.Errorf("%s arrival accepted", name)
+		} else if errors.Is(err, ErrEmptyBatch) {
+			t.Errorf("%s arrival misreported as empty batch: %v", name, err)
+		}
+	}
+}
+
+func TestRunAcceptsUnsortedArrivals(t *testing.T) {
+	const n = 40
+	env, cls := hetEnv(t, 4, n, 11)
+	// Reverse-ordered and interleaved arrivals: cloudlet i arrives at
+	// (n-1-i)·0.1s, so the last list element arrives first.
+	arrivals := make([]float64, n)
+	for i := range arrivals {
+		arrivals[i] = float64(n-1-i) * 0.1
+	}
+	res, err := Run(env, NewEarliestFinish(), cls, arrivals, cloud.TimeSharedFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Finished) != n {
+		t.Fatalf("finished %d of %d", len(res.Finished), n)
+	}
+	if res.MeanResponse <= 0 || res.MeanWait < 0 {
+		t.Fatalf("degenerate result with unsorted arrivals: %+v", res)
+	}
+	// First list element arrives last, so it cannot have started before its
+	// own arrival instant.
+	if cls[0].StartTime < arrivals[0] {
+		t.Fatalf("cloudlet 0 started at %v before its arrival %v", cls[0].StartTime, arrivals[0])
+	}
+}
+
+func TestSessionPlacesBatchesIncrementally(t *testing.T) {
+	env, cls := hetEnv(t, 4, 20, 7)
+	s, err := NewSession(env, NewEarliestFinish(), cloud.TimeSharedFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finishedHook int
+	s.OnFinish(func(*cloud.Cloudlet) { finishedHook++ })
+
+	// First flush: 12 cloudlets.
+	if err := s.PlaceBatch(cls[:12]); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Run()
+	if len(first) != 12 {
+		t.Fatalf("first flush finished %d, want 12", len(first))
+	}
+	t1 := s.Now()
+	if t1 <= 0 {
+		t.Fatalf("clock did not advance: %v", t1)
+	}
+
+	// Second flush reuses the same broker; the clock keeps moving forward.
+	if err := s.PlaceBatch(cls[12:]); err != nil {
+		t.Fatal(err)
+	}
+	second := s.Run()
+	if len(second) != 8 {
+		t.Fatalf("second flush finished %d, want 8", len(second))
+	}
+	if s.Now() < t1 {
+		t.Fatalf("clock went backwards: %v after %v", s.Now(), t1)
+	}
+	if got := len(s.Finished()); got != 20 {
+		t.Fatalf("session finished %d, want 20", got)
+	}
+	if finishedHook != 20 {
+		t.Fatalf("OnFinish fired %d times, want 20", finishedHook)
+	}
+	// Second-flush cloudlets were submitted at the advanced clock.
+	for _, c := range second {
+		if c.SubmitTime < t1 {
+			t.Fatalf("cloudlet %d submitted at %v, before batch hand-off at %v", c.ID, c.SubmitTime, t1)
+		}
+	}
+}
+
+func TestSessionEmptyFlushIsTyped(t *testing.T) {
+	env, _ := hetEnv(t, 2, 2, 3)
+	s, err := NewSession(env, NewRoundRobin(), cloud.TimeSharedFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PlaceBatch(nil); !errors.Is(err, ErrEmptyBatch) {
+		t.Fatalf("want ErrEmptyBatch, got %v", err)
+	}
+	if got := s.Run(); len(got) != 0 {
+		t.Fatalf("empty flush finished %d cloudlets", len(got))
+	}
+}
+
+func TestSessionSubmitPlacedWithoutPolicy(t *testing.T) {
+	env, cls := hetEnv(t, 3, 6, 5)
+	s, err := NewSession(env, nil, cloud.TimeSharedFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(cls[0]); err == nil {
+		t.Fatal("Place without a policy accepted")
+	}
+	for i, c := range cls {
+		if err := s.SubmitPlaced(c, env.VMs[i%len(env.VMs)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Run()); got != 6 {
+		t.Fatalf("finished %d, want 6", got)
+	}
+	if err := s.SubmitPlaced(nil, env.VMs[0]); err == nil {
+		t.Fatal("nil cloudlet accepted")
+	}
+	if err := s.SubmitPlaced(cls[0], nil); err == nil {
+		t.Fatal("nil VM accepted")
+	}
+}
+
+func TestSessionFeedsBackCompletions(t *testing.T) {
+	env, cls := hetEnv(t, 3, 9, 13)
+	policy := NewACO(rand.New(rand.NewSource(1)))
+	s, err := NewSession(env, policy, cloud.TimeSharedFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PlaceBatch(cls); err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if len(policy.tau) == 0 {
+		t.Fatal("completion feedback never reached the policy's pheromone trail")
+	}
+}
+
+func TestNewPolicyRegistryRoundTrip(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, rnd)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("policy %q reports name %q", name, p.Name())
+		}
+		if !IsPolicy(name) {
+			t.Errorf("IsPolicy(%q) = false", name)
+		}
+	}
+	if _, err := NewPolicy("no-such-policy", rnd); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if IsPolicy("aco") {
+		t.Fatal("batch scheduler name misclassified as online policy")
+	}
+}

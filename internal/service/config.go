@@ -1,0 +1,103 @@
+// Package service turns the repository's schedulers into a long-running
+// scheduling daemon: an HTTP/JSON front end accepts cloudlet submissions,
+// a time/size-bounded batcher coalesces them, a worker pool maps each
+// flushed batch with a registered scheduler (batch algorithms from
+// internal/sched — ACO, HBO, RBS, GA, PSO, base, … — or per-arrival
+// policies from internal/online), and a persistent online.Session executes
+// placements on one broker whose simulated clock advances across batches.
+//
+// The shape is the one production serving systems share: bounded admission
+// (429 + Retry-After under pressure), batch coalescing (flush on N items or
+// T elapsed, whichever first), concurrent mapping with serialized state
+// mutation, graceful drain on shutdown, and a Prometheus observability
+// surface. See DESIGN.md §7.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"bioschedsim/internal/online"
+	"bioschedsim/internal/sched"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultBatchSize       = 64
+	DefaultFlushInterval   = 50 * time.Millisecond
+	DefaultQueueCap        = 4096
+	DefaultWorkers         = 2
+	DefaultStatusRetention = 1 << 20
+)
+
+// Config sizes the daemon. The zero value of every field selects the
+// package default, so Config{Scheduler: "aco"} is a working configuration.
+type Config struct {
+	// Scheduler names the mapping algorithm: either a batch scheduler from
+	// the internal/sched registry ("aco", "hbo", "rbs", "ga", "pso",
+	// "base", …) or a per-arrival policy from internal/online
+	// ("online-eft", "online-aco", …). Required.
+	Scheduler string
+
+	// BatchSize flushes the coalescing queue when this many cloudlets have
+	// accumulated.
+	BatchSize int
+
+	// FlushInterval flushes a non-empty partial batch this long after its
+	// first cloudlet arrived, bounding worst-case queueing latency.
+	FlushInterval time.Duration
+
+	// QueueCap bounds the admission queue. Submissions beyond it are
+	// rejected with ErrQueueFull (HTTP 429) instead of queueing unboundedly.
+	QueueCap int
+
+	// Workers sizes the batch-mapping worker pool. Mapping runs
+	// concurrently across batches; execution on the shared broker is
+	// serialized. Online policies are stateful, so they always run with one
+	// effective mapper regardless of this setting.
+	Workers int
+
+	// Seed derives every random stream (per-worker scheduler randomness,
+	// online policy randomness), keeping runs reproducible.
+	Seed int64
+
+	// StatusRetention caps the number of finished cloudlet records kept for
+	// /v1/status lookups; the oldest finished records are evicted first.
+	// Queued and in-flight records are never evicted.
+	StatusRetention int
+}
+
+// withDefaults returns cfg with zero fields replaced by package defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultFlushInterval
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.StatusRetention <= 0 {
+		cfg.StatusRetention = DefaultStatusRetention
+	}
+	return cfg
+}
+
+// validate checks the scheduler name against both registries.
+func (cfg Config) validate() error {
+	if cfg.Scheduler == "" {
+		return fmt.Errorf("service: Config.Scheduler is required (batch: %v; online: %v)",
+			sched.Names(), online.PolicyNames())
+	}
+	if online.IsPolicy(cfg.Scheduler) {
+		return nil
+	}
+	if _, err := sched.New(cfg.Scheduler); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}

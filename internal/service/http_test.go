@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startHTTP runs a daemon behind an httptest server.
+func startHTTP(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := startService(t, cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := fmt.Fprint(&buf, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp, []byte(buf.String())
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String()
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, readAll(t, resp)
+}
+
+func TestHTTPSubmitSingleAndBatch(t *testing.T) {
+	_, ts := startHTTP(t, Config{Scheduler: "base", BatchSize: 4, FlushInterval: 2 * time.Millisecond})
+
+	resp, body := postJSON(t, ts.URL+"/v1/submit", `{"length": 1500, "file_size": 300}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("single submit: %d %s", resp.StatusCode, body)
+	}
+	var single submitResponse
+	if err := json.Unmarshal(body, &single); err != nil || len(single.IDs) != 1 {
+		t.Fatalf("single submit response %s: %v", body, err)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/submit",
+		`{"cloudlets": [{"length": 1000}, {"length": 2000, "pes": 1}, {"length": 3000, "deadline": 100000}]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("batch submit: %d %s", resp.StatusCode, body)
+	}
+	var batch submitResponse
+	if err := json.Unmarshal(body, &batch); err != nil || batch.Accepted != 3 {
+		t.Fatalf("batch submit response %s: %v", body, err)
+	}
+
+	// Poll the last id to completion.
+	last := batch.IDs[2]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body := getBody(t, fmt.Sprintf("%s/v1/status/%d", ts.URL, last))
+		if code != http.StatusOK {
+			t.Fatalf("status: %d %s", code, body)
+		}
+		var rec StatusRecord
+		if err := json.Unmarshal([]byte(body), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.State == StateFinished {
+			if rec.VM < 0 {
+				t.Fatalf("finished without VM: %+v", rec)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cloudlet %d stuck: %+v", last, rec)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestHTTPSubmitRejectsMalformed(t *testing.T) {
+	_, ts := startHTTP(t, Config{Scheduler: "base"})
+	for name, body := range map[string]string{
+		"not json":      `{`,
+		"empty object":  `{}`,
+		"zero length":   `{"length": 0}`,
+		"bad field":     `{"length": 100, "bogus": 1}`,
+		"empty batch":   `{"cloudlets": []}`,
+		"negative":      `{"length": -4}`,
+		"bad batch elt": `{"cloudlets": [{"length": 100}, {"length": -1}]}`,
+	} {
+		resp, b := postJSON(t, ts.URL+"/v1/submit", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: got %d %s, want 400", name, resp.StatusCode, b)
+		}
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	_, ts := startHTTP(t, Config{Scheduler: "base", BatchSize: 1 << 20, FlushInterval: time.Hour, QueueCap: 4})
+	resp, body := postJSON(t, ts.URL+"/v1/submit", `{"cloudlets": [{"length":1},{"length":1},{"length":1},{"length":1}]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fill: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/submit", `{"length": 1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: got %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+func TestHTTPStatusNotFoundAndBadID(t *testing.T) {
+	_, ts := startHTTP(t, Config{Scheduler: "base"})
+	if code, _ := getBody(t, ts.URL+"/v1/status/99999"); code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d, want 404", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/status/xyz"); code != http.StatusBadRequest {
+		t.Fatalf("bad id: %d, want 400", code)
+	}
+}
+
+func TestHTTPHealthzFlipsOnDrain(t *testing.T) {
+	svc, ts := startHTTP(t, Config{Scheduler: "base"})
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthy daemon: %d", code)
+	}
+	drain(t, svc)
+	if code, _ := getBody(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining daemon: %d, want 503", code)
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/submit", `{"length": 100}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestHTTPSchedulersEndpoint(t *testing.T) {
+	_, ts := startHTTP(t, Config{Scheduler: "online-eft"})
+	code, body := getBody(t, ts.URL+"/v1/schedulers")
+	if code != http.StatusOK {
+		t.Fatalf("schedulers: %d", code)
+	}
+	var got struct {
+		Active string   `json:"active"`
+		Batch  []string `json:"batch"`
+		Online []string `json:"online"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Active != "online-eft" || len(got.Batch) == 0 || len(got.Online) == 0 {
+		t.Fatalf("schedulers payload: %+v", got)
+	}
+}
+
+func TestHTTPMetricsSurface(t *testing.T) {
+	svc, ts := startHTTP(t, Config{Scheduler: "base", BatchSize: 8, FlushInterval: 2 * time.Millisecond})
+	if _, err := svc.Submit(specN(8)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	code, body := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	for _, series := range []string{
+		"schedd_submitted_total 8",
+		"schedd_finished_total 8",
+		"schedd_queue_depth 0",
+		"schedd_batch_sim_time_seconds",
+		"schedd_batch_imbalance",
+		`schedd_scheduling_seconds_count{scheduler="base"} 1`,
+		"schedd_batch_size_bucket",
+		"# TYPE schedd_scheduling_seconds histogram",
+	} {
+		if !strings.Contains(body, series) {
+			t.Errorf("metrics output missing %q:\n%s", series, body)
+		}
+	}
+}

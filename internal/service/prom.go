@@ -1,0 +1,148 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bioschedsim/internal/metrics"
+)
+
+// counter is a monotonically increasing uint64 metric.
+type counter struct{ v atomic.Uint64 }
+
+func (c *counter) Add(n uint64) { c.v.Add(n) }
+func (c *counter) Inc()         { c.v.Add(1) }
+func (c *counter) Load() uint64 { return c.v.Load() }
+
+// gauge is a float64 metric that moves both ways.
+type gauge struct{ bits atomic.Uint64 }
+
+func (g *gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+func (g *gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// promMetrics is the daemon's observability surface, rendered in Prometheus
+// text exposition format by WritePrometheus. Distribution-shaped series use
+// internal/metrics.Histogram; Eq. 12/13 per-batch figures are exported as
+// gauges of the most recent flush.
+type promMetrics struct {
+	submitted    counter // accepted cloudlets
+	rejected     counter // cloudlets refused with queue-full
+	finished     counter // cloudlets executed to completion
+	failed       counter // cloudlets whose batch failed to map
+	batches      counter // non-empty flushes dispatched
+	emptyFlushes counter // empty flushes absorbed via online.ErrEmptyBatch
+
+	queueDepth func() float64 // live admission-queue occupancy
+	inflight   atomic.Int64   // batches currently mapping/executing
+
+	batchSize *metrics.Histogram
+
+	mu        sync.Mutex
+	schedSecs map[string]*metrics.Histogram // per-scheduler scheduling time
+
+	lastSimTime   gauge // Eq. 12 of the last executed batch, simulated seconds
+	lastImbalance gauge // Eq. 13 of the last executed batch
+}
+
+func newPromMetrics(queueDepth func() float64) *promMetrics {
+	return &promMetrics{
+		queueDepth: queueDepth,
+		// 1 → 4096 cloudlets per flush.
+		batchSize: metrics.NewHistogram(metrics.ExpBuckets(1, 2, 13)),
+		schedSecs: map[string]*metrics.Histogram{},
+	}
+}
+
+// schedulingHist returns (creating on first use) the scheduling-time
+// histogram for the named scheduler. Buckets span 10µs → ~2.7min.
+func (p *promMetrics) schedulingHist(scheduler string) *metrics.Histogram {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h, ok := p.schedSecs[scheduler]
+	if !ok {
+		h = metrics.NewHistogram(metrics.ExpBuckets(1e-5, 4, 12))
+		p.schedSecs[scheduler] = h
+	}
+	return h
+}
+
+// observeBatch records one executed batch's figures.
+func (p *promMetrics) observeBatch(rep metrics.Report) {
+	p.batches.Inc()
+	p.batchSize.Observe(float64(rep.Cloudlets))
+	p.schedulingHist(rep.Algorithm).Observe(rep.SchedulingTime.Seconds())
+	p.lastSimTime.Set(rep.SimTime)
+	p.lastImbalance.Set(rep.Imbalance)
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *metrics.Histogram) {
+	snap := h.Snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	for i, b := range snap.Bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, formatBound(b), snap.Cumulative[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, snap.Count)
+	if labels != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, snap.Sum, name, labels, snap.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+	}
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// WritePrometheus renders every series in text exposition format.
+func (p *promMetrics) WritePrometheus(w io.Writer) {
+	writeHeader(w, "schedd_submitted_total", "Cloudlets accepted into the queue.", "counter")
+	fmt.Fprintf(w, "schedd_submitted_total %d\n", p.submitted.Load())
+	writeHeader(w, "schedd_rejected_total", "Cloudlets rejected with queue-full backpressure.", "counter")
+	fmt.Fprintf(w, "schedd_rejected_total %d\n", p.rejected.Load())
+	writeHeader(w, "schedd_finished_total", "Cloudlets executed to completion.", "counter")
+	fmt.Fprintf(w, "schedd_finished_total %d\n", p.finished.Load())
+	writeHeader(w, "schedd_failed_total", "Cloudlets whose batch failed to map.", "counter")
+	fmt.Fprintf(w, "schedd_failed_total %d\n", p.failed.Load())
+	writeHeader(w, "schedd_batches_total", "Non-empty batches flushed to the worker pool.", "counter")
+	fmt.Fprintf(w, "schedd_batches_total %d\n", p.batches.Load())
+	writeHeader(w, "schedd_empty_flushes_total", "Empty flushes absorbed without error.", "counter")
+	fmt.Fprintf(w, "schedd_empty_flushes_total %d\n", p.emptyFlushes.Load())
+
+	writeHeader(w, "schedd_queue_depth", "Cloudlets currently held in the admission queue.", "gauge")
+	fmt.Fprintf(w, "schedd_queue_depth %g\n", p.queueDepth())
+	writeHeader(w, "schedd_inflight_batches", "Batches currently being mapped or executed.", "gauge")
+	fmt.Fprintf(w, "schedd_inflight_batches %d\n", p.inflight.Load())
+
+	writeHeader(w, "schedd_batch_sim_time_seconds", "Eq. 12 simulation time of the last executed batch.", "gauge")
+	fmt.Fprintf(w, "schedd_batch_sim_time_seconds %g\n", p.lastSimTime.Load())
+	writeHeader(w, "schedd_batch_imbalance", "Eq. 13 degree of imbalance of the last executed batch.", "gauge")
+	fmt.Fprintf(w, "schedd_batch_imbalance %g\n", p.lastImbalance.Load())
+
+	writeHeader(w, "schedd_batch_size", "Cloudlets per flushed batch.", "histogram")
+	writeHistogram(w, "schedd_batch_size", "", p.batchSize)
+
+	writeHeader(w, "schedd_scheduling_seconds", "Wall-clock scheduling time per batch, by scheduler.", "histogram")
+	p.mu.Lock()
+	names := make([]string, 0, len(p.schedSecs))
+	for name := range p.schedSecs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hists := make([]*metrics.Histogram, len(names))
+	for i, name := range names {
+		hists[i] = p.schedSecs[name]
+	}
+	p.mu.Unlock()
+	for i, name := range names {
+		writeHistogram(w, "schedd_scheduling_seconds", fmt.Sprintf("scheduler=%q", name), hists[i])
+	}
+}
