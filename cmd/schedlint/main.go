@@ -1,0 +1,94 @@
+// Command schedlint runs the repository's static-analysis rules
+// (internal/lint): determinism of randomness, simulated-clock discipline,
+// float-equality safety, library print hygiene, and lock-copy checks.
+//
+// Usage:
+//
+//	schedlint [-C dir] [-rules r1,r2] [-json] [-list] [packages ...]
+//
+// Package patterns are module-root-relative directories, with ./... for the
+// whole tree (the default). Exit codes: 0 clean, 1 findings, 2 usage or
+// load error — suitable for CI gates (verify.sh runs
+// `go run ./cmd/schedlint ./...`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bioschedsim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonReport is the -json output schema. CI consumers rely on these field
+// names; extend, do not rename.
+type jsonReport struct {
+	Packages    int               `json:"packages"`
+	Count       int               `json:"count"`
+	Diagnostics []lint.Diagnostic `json:"diagnostics"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("C", ".", "analyze the module containing this `directory`")
+		rules    = fs.String("rules", "", "comma-separated `rules` to run (default: all; see -list)")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
+		listOnly = fs.Bool("list", false, "list the registered rules and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: schedlint [flags] [package patterns, default ./...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listOnly {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-10s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	var ruleNames []string
+	if *rules != "" {
+		ruleNames = strings.Split(*rules, ",")
+	}
+	res, err := lint.Run(lint.Config{Dir: *dir, Patterns: fs.Args(), Rules: ruleNames})
+	if err != nil {
+		fmt.Fprintf(stderr, "schedlint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		rep := jsonReport{Packages: res.Packages, Count: len(res.Diags), Diagnostics: res.Diags}
+		if rep.Diagnostics == nil {
+			rep.Diagnostics = []lint.Diagnostic{} // stable schema: [] not null
+		}
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "schedlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+		if n := len(res.Diags); n > 0 {
+			fmt.Fprintf(stderr, "schedlint: %d finding(s) across %d package(s)\n", n, res.Packages)
+		}
+	}
+	if len(res.Diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestJSONGolden pins the -json schema byte-for-byte: CI consumers parse
+// this output, so field names, ordering, and indentation are API.
+func TestJSONGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "jsonfix"), "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present); stderr: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "golden.json")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("-json output drifted from golden file\n got:\n%s\nwant:\n%s", stdout.String(), want)
+	}
+	// The golden bytes must stay parseable with the documented field names.
+	var rep struct {
+		Packages    int `json:"packages"`
+		Count       int `json:"count"`
+		Diagnostics []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Rule    string `json:"rule"`
+			Message string `json:"message"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(want, &rep); err != nil {
+		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	if rep.Count != len(rep.Diagnostics) || rep.Count != 2 {
+		t.Errorf("want count 2 matching diagnostics length, got count=%d len=%d", rep.Count, len(rep.Diagnostics))
+	}
+	for _, d := range rep.Diagnostics {
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Rule == "" || d.Message == "" {
+			t.Errorf("diagnostic with empty field: %+v", d)
+		}
+	}
+}
+
+// TestJSONCleanTree proves the schema is stable on success: an empty
+// diagnostics array (never null), count 0, exit 0.
+func TestJSONCleanTree(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "../..", "-json", "./internal/lint"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	var rep struct {
+		Count       int               `json:"count"`
+		Diagnostics []json.RawMessage `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.Count != 0 || rep.Diagnostics == nil || len(rep.Diagnostics) != 0 {
+		t.Errorf("clean tree must serialize as count 0 with [] diagnostics, got %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), `"diagnostics": []`) {
+		t.Errorf("diagnostics must be [] (not null) on a clean tree, got %s", stdout.String())
+	}
+}
+
+// TestTextOutput checks the human format and the findings exit code.
+func TestTextOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "jsonfix"), "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "internal/sched/fixture.go:9:9:") || !strings.Contains(out, "(detrand)") {
+		t.Errorf("text output missing file:line:col or rule tag:\n%s", out)
+	}
+	if !strings.Contains(stderr.String(), "2 finding(s)") {
+		t.Errorf("stderr summary missing: %q", stderr.String())
+	}
+}
+
+// TestRulesFlag restricts the run to one rule: detrand is excluded and the
+// suppressed sentinel stays suppressed, so exactly the one unsuppressed
+// floateq finding remains.
+func TestRulesFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "jsonfix"), "-rules", "floateq", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	out := stdout.String()
+	if strings.Contains(out, "detrand") {
+		t.Errorf("-rules floateq must not run detrand:\n%s", out)
+	}
+	if strings.Count(out, "(floateq)") != 1 {
+		t.Errorf("want exactly one floateq finding (the sentinel is suppressed):\n%s", out)
+	}
+}
+
+func TestUnknownRuleExitCode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-rules", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for unknown rule", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown rule") {
+		t.Errorf("stderr should name the unknown rule: %q", stderr.String())
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, rule := range []string{"detrand", "simclock", "floateq", "noprint", "mutexcopy"} {
+		if !strings.Contains(stdout.String(), rule) {
+			t.Errorf("-list output missing rule %s:\n%s", rule, stdout.String())
+		}
+	}
+}

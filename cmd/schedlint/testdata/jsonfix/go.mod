@@ -1,0 +1,3 @@
+module fixture.example/jsonfix
+
+go 1.22

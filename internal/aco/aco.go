@@ -106,18 +106,22 @@ func New(cfg Config) *Scheduler {
 	if cfg.Ants == 0 {
 		cfg.Ants = def.Ants
 	}
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if cfg.Alpha == 0 && cfg.Beta == 0 {
 		cfg.Alpha, cfg.Beta = def.Alpha, def.Beta
 	}
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if cfg.Rho == 0 {
 		cfg.Rho = def.Rho
 	}
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if cfg.Q == 0 {
 		cfg.Q = def.Q
 	}
 	if cfg.Iterations == 0 {
 		cfg.Iterations = def.Iterations
 	}
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if cfg.InitialTau == 0 {
 		cfg.InitialTau = def.InitialTau
 	}

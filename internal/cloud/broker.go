@@ -209,6 +209,7 @@ func (b *Broker) ProvisionVMAfter(vm *VM, policy AllocationPolicy, factory Sched
 	if bootDelay < 0 {
 		return fmt.Errorf("cloud: negative boot delay %v", bootDelay)
 	}
+	//schedlint:ignore floateq bootDelay is caller input validated non-negative; exact 0 is the documented instant-provisioning case
 	if bootDelay == 0 {
 		return b.ProvisionVM(vm, policy, factory)
 	}

@@ -93,6 +93,7 @@ func (c *Cloudlet) ExecTime() sim.Time {
 // MetDeadline reports whether a finished cloudlet satisfied its SLA; it is
 // vacuously true without a deadline and false before completion.
 func (c *Cloudlet) MetDeadline() bool {
+	//schedlint:ignore floateq Deadline 0 is the documented "no SLA" sentinel, assigned literally and never accumulated
 	if c.Deadline == 0 {
 		return true
 	}

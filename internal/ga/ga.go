@@ -71,6 +71,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.Generations == 0 {
 		cfg.Generations = def.Generations
 	}
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if cfg.MutationRate == 0 {
 		cfg.MutationRate = def.MutationRate
 	}

@@ -111,6 +111,7 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 		return nil, err
 	}
 	facLB := s.cfg.FacLB
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if facLB == 0 {
 		// Loose fair share: each datacenter may absorb 1.5× its VMs' equal
 		// slice of the batch before scouts spill to the next-cheapest one.

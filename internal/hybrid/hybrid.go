@@ -86,9 +86,11 @@ func New(cfg Config) *Scheduler {
 	if cfg.Objective == "" {
 		cfg.Objective = def.Objective
 	}
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if cfg.PriceSpread == 0 {
 		cfg.PriceSpread = def.PriceSpread
 	}
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if cfg.SpeedSpread == 0 {
 		cfg.SpeedSpread = def.SpeedSpread
 	}

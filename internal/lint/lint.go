@@ -1,0 +1,206 @@
+// Package lint is schedlint's analysis engine: a zero-dependency static
+// analyzer (go/parser + go/ast + go/token + go/types only) that enforces the
+// repository's determinism, simulated-clock, and float-safety invariants.
+//
+// The paper's comparisons are only reproducible when every scheduler run is a
+// pure function of its inputs and seed. That discipline is threaded through
+// the code by convention — randomness flows through an injected *rand.Rand
+// (internal/xrand), simulation code reads time only from the engine's
+// simulated clock, and Eq. 12/13 style float accumulations are never compared
+// exactly. One stray global rand call or wall-clock read silently breaks
+// replays; this package turns each convention into a machine-checked rule:
+//
+//   - detrand:   no global math/rand functions (and no wall-clock-seeded
+//     rand.New) in deterministic packages.
+//   - simclock:  no time.Now/Since/Sleep/... in simulation and scheduler
+//     packages; the engine's simulated clock is the only legal time source.
+//   - floateq:   no ==/!= between floating-point operands in scheduler and
+//     objective code.
+//   - noprint:   no fmt.Print*/println in library packages; output goes
+//     through internal/report.
+//   - mutexcopy: no by-value copies of types that contain a sync lock.
+//
+// A finding can be suppressed, with an audit trail, by a comment on the same
+// line or the line above:
+//
+//	//schedlint:ignore <rule> <reason>
+//
+// The reason is mandatory; malformed or unknown-rule directives are
+// themselves diagnosed (rule "ignore") so typos cannot silently disable a
+// check.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at a module-root-relative file path.
+// The JSON field names are a stable schema consumed by CI tooling.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Rule)
+}
+
+// Rule is one named invariant check. Check appends findings for a single
+// loaded package; the engine handles scoping, suppression, and ordering.
+type Rule struct {
+	// Name is the identifier used by -rules and //schedlint:ignore.
+	Name string
+	// Doc is a one-line description shown by schedlint -list.
+	Doc string
+	// Scope reports whether the rule applies to a package, identified by its
+	// module-root-relative path (e.g. "internal/sched", "cmd/schedd").
+	Scope func(rel string) bool
+	// Check reports findings via report; positions are token.Pos values in
+	// the package's FileSet.
+	Check func(p *Package, report func(pos token.Pos, format string, args ...any))
+}
+
+// Config selects what Run analyzes.
+type Config struct {
+	// Dir is any directory inside the target module; the engine walks up to
+	// the enclosing go.mod. Empty means ".".
+	Dir string
+	// Patterns are package patterns relative to Dir: a directory path like
+	// ./internal/sched, or a tree like ./... . Empty means ["./..."].
+	Patterns []string
+	// Rules are the enabled rule names; empty means all registered rules.
+	Rules []string
+}
+
+// Result is a completed analysis.
+type Result struct {
+	// Diags are the surviving findings, sorted by file, line, column, rule.
+	Diags []Diagnostic
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// Rules returns the registered rules in their canonical order.
+func Rules() []Rule { return registry }
+
+// RuleNames returns the registered rule names in canonical order.
+func RuleNames() []string {
+	names := make([]string, len(registry))
+	for i, r := range registry {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Run loads every package matched by cfg and applies the enabled rules.
+// It returns an error only for environmental failures (no module, bad
+// pattern, unknown rule name); findings are data, not errors.
+func Run(cfg Config) (*Result, error) {
+	rules, err := selectRules(cfg.Rules)
+	if err != nil {
+		return nil, err
+	}
+	ld, err := newLoader(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := ld.loadPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		sup := scanSuppressions(p, ld.relFile)
+		diags = append(diags, sup.malformed...)
+		for _, r := range rules {
+			if r.Scope != nil && !r.Scope(p.Rel) {
+				continue
+			}
+			rule := r // capture for the closure below
+			r.Check(p, func(pos token.Pos, format string, args ...any) {
+				position := p.Fset.Position(pos)
+				d := Diagnostic{
+					File:    ld.relFile(position.Filename),
+					Line:    position.Line,
+					Col:     position.Column,
+					Rule:    rule.Name,
+					Message: fmt.Sprintf(format, args...),
+				}
+				if sup.suppresses(d) {
+					return
+				}
+				diags = append(diags, d)
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return &Result{Diags: diags, Packages: len(pkgs)}, nil
+}
+
+// selectRules resolves names against the registry, defaulting to all.
+func selectRules(names []string) ([]Rule, error) {
+	if len(names) == 0 {
+		return registry, nil
+	}
+	byName := make(map[string]Rule, len(registry))
+	for _, r := range registry {
+		byName[r.Name] = r
+	}
+	var out []Rule
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		r, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", n, strings.Join(RuleNames(), ", "))
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no rules selected")
+	}
+	return out, nil
+}
+
+// inScope reports whether module-relative path rel is pkgs[i] or below it.
+func inScope(rel string, pkgs []string) bool {
+	for _, p := range pkgs {
+		if rel == p || strings.HasPrefix(rel, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// underDir reports whether rel sits under the given top-level directory.
+func underDir(rel, dir string) bool {
+	return rel == dir || strings.HasPrefix(rel, dir+"/")
+}

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// randGlobals are the package-level math/rand (and math/rand/v2) functions
+// that draw from the shared, interleaving-dependent global source. The
+// constructors New/NewSource/NewZipf are deliberately absent: building an
+// explicitly seeded generator is the sanctioned pattern.
+var randGlobals = map[string]bool{
+	// math/rand
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 additions
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32N": true, "Uint64N": true, "N": true,
+}
+
+// checkDetRand enforces the determinism contract for randomness: every draw
+// in a deterministic package must come through an injected *rand.Rand (built
+// from internal/xrand streams), never the global math/rand source, and a
+// local generator must not be seeded from the wall clock.
+func checkDetRand(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	walkFiles(p, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			pkg, name, ok := pkgMember(p.Info, e)
+			if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") {
+				return true
+			}
+			if randGlobals[name] {
+				report(e.Pos(), "global %s.%s draws from the process-wide source; inject a seeded *rand.Rand (internal/xrand) instead", pkg, name)
+			}
+		case *ast.CallExpr:
+			if clock := wallClockSeed(p, e); clock != "" {
+				report(e.Pos(), "rand generator seeded from wall clock (%s); derive the seed from configuration so runs replay", clock)
+			}
+		}
+		return true
+	})
+}
+
+// wallClockSeed reports (as "time.X") a wall-clock read anywhere inside the
+// arguments of a rand.New/rand.NewSource call, catching the classic
+// rand.New(rand.NewSource(time.Now().UnixNano())) anti-pattern even when the
+// surrounding package is exempt from simclock.
+func wallClockSeed(p *Package, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkg, name, ok := pkgMember(p.Info, sel)
+	if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") || (name != "New" && name != "NewSource") {
+		return ""
+	}
+	// rand.New(rand.NewSource(...)) nests two matching calls; let the inner
+	// NewSource report so one expression yields one diagnostic.
+	if name == "New" {
+		for _, arg := range call.Args {
+			if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+				if s, ok := inner.Fun.(*ast.SelectorExpr); ok {
+					if ipkg, iname, ok := pkgMember(p.Info, s); ok && ipkg == pkg && iname == "NewSource" {
+						return ""
+					}
+				}
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		var found string
+		ast.Inspect(arg, func(n ast.Node) bool {
+			s, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pkg, member, ok := pkgMember(p.Info, s); ok && pkg == "time" && member == "Now" {
+				found = "time.Now"
+				return false
+			}
+			return true
+		})
+		if found != "" {
+			return found
+		}
+	}
+	return ""
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkFloatEq flags exact equality between floating-point operands in
+// scheduler/objective code. Fitness values there are sums over execution
+// times (Eq. 8, Eq. 12/13) whose low bits depend on accumulation order, so
+// `a == b` is a latent bug: two mathematically equal schedules can compare
+// unequal (breaking tie-breaks and convergence tests) or, worse, an
+// optimization that reorders a loop changes behavior. Comparisons where both
+// sides are compile-time constants are allowed — those are exact by
+// construction.
+func checkFloatEq(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	walkFiles(p, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, xok := p.Info.Types[be.X]
+		yt, yok := p.Info.Types[be.Y]
+		if !xok || !yok {
+			return true
+		}
+		if xt.Value != nil && yt.Value != nil { // constant-folded: exact
+			return true
+		}
+		if !isFloat(xt.Type) && !isFloat(yt.Type) {
+			return true
+		}
+		report(be.Pos(), "floating-point %s comparison; accumulation order makes exact equality unreliable — compare with an epsilon or an integer representation", be.Op)
+		return true
+	})
+}
+
+// isFloat reports whether t is (or is named with underlying) float32/64.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// syncLockTypes are the sync types whose by-value copy detaches waiters or
+// duplicates lock state. (sync.Map and sync.Pool embed one of these, so the
+// recursive containment walk catches them through their fields.)
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// checkMutexCopy flags by-value movement of lock-containing values: function
+// parameters, results, and receivers declared by value; assignments that
+// copy an existing variable; and range variables that copy elements out of a
+// slice, array, or map. It complements `go vet`'s copylocks so the invariant
+// holds even when vet is skipped, and so violations share schedlint's
+// suppression and JSON surface.
+func checkMutexCopy(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	walkFiles(p, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncDecl:
+			if e.Recv != nil {
+				checkFieldList(p, e.Recv, "receiver", report)
+			}
+			checkFieldList(p, e.Type.Params, "parameter", report)
+		case *ast.FuncLit:
+			checkFieldList(p, e.Type.Params, "parameter", report)
+		case *ast.AssignStmt:
+			for i, rhs := range e.Rhs {
+				// Assigning to the blank identifier discards the copy; it is
+				// the idiomatic "reference without use" and holds no state.
+				if i < len(e.Lhs) {
+					if id, ok := e.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				checkCopyExpr(p, rhs, "assignment", report)
+			}
+		case *ast.ValueSpec:
+			for _, v := range e.Values {
+				checkCopyExpr(p, v, "assignment", report)
+			}
+		case *ast.ReturnStmt:
+			// Returning a composite literal constructs; returning an existing
+			// variable copies — only the latter duplicates lock state.
+			for _, v := range e.Results {
+				checkCopyExpr(p, v, "return", report)
+			}
+		case *ast.RangeStmt:
+			if e.Value == nil {
+				return true
+			}
+			// The value variable's type is not in Info.Types (it is being
+			// defined); derive the element type from the ranged expression.
+			if t := rangeElemType(p.Info.Types[e.X].Type); t != nil && containsLock(t, nil) {
+				report(e.Value.Pos(), "range value copies %s, which contains a sync lock; range over indices or use pointers", types.TypeString(t, types.RelativeTo(p.Types)))
+			}
+		}
+		return true
+	})
+}
+
+// checkFieldList flags by-value lock-containing entries of a parameter,
+// result, or receiver list.
+func checkFieldList(p *Package, fl *ast.FieldList, kind string, report func(pos token.Pos, format string, args ...any)) {
+	if fl == nil {
+		return
+	}
+	for _, f := range fl.List {
+		t := p.Info.Types[f.Type].Type
+		if t == nil || !containsLock(t, nil) {
+			continue
+		}
+		report(f.Type.Pos(), "%s passes %s by value, copying its sync lock; use a pointer", kind, types.TypeString(t, types.RelativeTo(p.Types)))
+	}
+}
+
+// checkCopyExpr flags an assignment or return expression that copies an
+// existing lock-containing value. Composite literals, function calls, and
+// address-taking construct or reference rather than copy, so they pass.
+func checkCopyExpr(p *Package, rhs ast.Expr, verb string, report func(pos token.Pos, format string, args ...any)) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := p.Info.Types[rhs].Type
+	if t == nil || !containsLock(t, nil) {
+		return
+	}
+	report(rhs.Pos(), "%s copies %s, which contains a sync lock; use a pointer", verb, types.TypeString(t, types.RelativeTo(p.Types)))
+}
+
+// rangeElemType returns the per-iteration value type of a ranged container,
+// or nil when ranging yields no copyable value (channels yield elements too,
+// but copying out of a channel is a transfer, not a duplication).
+func rangeElemType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Pointer: // range over *[N]T
+		if arr, ok := u.Elem().Underlying().(*types.Array); ok {
+			return arr.Elem()
+		}
+	case *types.Map:
+		return u.Elem()
+	}
+	return nil
+}
+
+// containsLock reports whether t transitively contains a sync lock by value.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// stdoutPrinters are the fmt functions that write to the process's stdout
+// directly. The Fprint/Sprint families are fine: writing to an injected
+// io.Writer is exactly what internal/report does.
+var stdoutPrinters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// checkNoPrint keeps library packages from writing to stdout/stderr behind
+// the caller's back: a scheduler that prints corrupts papergen's CSV/SVG
+// pipelines and the daemon's logs. Rendering belongs in internal/report (or
+// any injected io.Writer); commands under cmd/ may print freely.
+func checkNoPrint(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	walkFiles(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if pkg, name, ok := pkgMember(p.Info, fun); ok && pkg == "fmt" && stdoutPrinters[name] {
+				report(call.Pos(), "fmt.%s writes to stdout from a library package; render through internal/report or an injected io.Writer", name)
+			}
+		case *ast.Ident:
+			if fun.Name != "print" && fun.Name != "println" {
+				return true
+			}
+			if _, isBuiltin := p.Info.Uses[fun].(*types.Builtin); isBuiltin {
+				report(call.Pos(), "builtin %s writes to stderr and is not part of the supported output surface; use internal/report", fun.Name)
+			}
+		}
+		return true
+	})
+}

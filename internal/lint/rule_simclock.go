@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// wallClockFuncs are the package time entry points that read or depend on
+// the machine's clock. Pure types and constants (time.Duration, time.Second)
+// are fine — schedulers may *represent* durations; they may not *observe*
+// real time.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// checkSimClock enforces that simulation and scheduler packages observe time
+// only through the discrete-event engine's simulated clock (sim.Engine /
+// online.Session.Now). A wall-clock read in these packages makes makespan,
+// flow-time, and replayed traces depend on host speed and scheduling jitter.
+func checkSimClock(p *Package, report func(pos token.Pos, format string, args ...any)) {
+	walkFiles(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pkgMember(p.Info, sel)
+		if !ok || pkg != "time" || !wallClockFuncs[name] {
+			return true
+		}
+		report(sel.Pos(), "wall-clock time.%s in simulation code; the engine's simulated clock is the only legal time source here", name)
+		return true
+	})
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//schedlint:ignore <rule> <reason>
+//
+// A directive silences diagnostics of the named rule ("all" silences every
+// rule) on the directive's own line and on the line immediately below it,
+// which covers both trailing comments and a comment line above the offending
+// statement. The reason is mandatory: suppressions are audit records, and a
+// bare ignore tells a reviewer nothing.
+const ignorePrefix = "schedlint:ignore"
+
+// suppression is one parsed directive.
+type suppression struct {
+	rule string
+}
+
+// suppressionSet indexes a package's directives by (file, line).
+type suppressionSet struct {
+	byLine    map[string]map[int][]suppression
+	malformed []Diagnostic
+}
+
+// scanSuppressions parses every ignore directive in the package and
+// diagnoses malformed ones under the pseudo-rule "ignore"; relFile rewrites
+// raw position file names to the module-relative form diagnostics use.
+func scanSuppressions(p *Package, relFile func(string) string) *suppressionSet {
+	s := &suppressionSet{byLine: make(map[string]map[int][]suppression)}
+	known := make(map[string]bool, len(registry))
+	for _, r := range registry {
+		known[r.Name] = true
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				file, line := pos.Filename, pos.Line
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					s.malformed = append(s.malformed, Diagnostic{
+						File: relFile(file), Line: line, Col: pos.Column, Rule: "ignore",
+						Message: "malformed suppression: want //schedlint:ignore <rule> <reason>",
+					})
+					continue
+				case fields[0] != "all" && !known[fields[0]]:
+					s.malformed = append(s.malformed, Diagnostic{
+						File: relFile(file), Line: line, Col: pos.Column, Rule: "ignore",
+						Message: fmt.Sprintf("suppression names unknown rule %q (known: %s)",
+							fields[0], strings.Join(append(RuleNames(), "all"), ", ")),
+					})
+					continue
+				case len(fields) < 2:
+					s.malformed = append(s.malformed, Diagnostic{
+						File: relFile(file), Line: line, Col: pos.Column, Rule: "ignore",
+						Message: fmt.Sprintf("suppression of %s needs a reason: //schedlint:ignore %s <reason>", fields[0], fields[0]),
+					})
+					continue
+				}
+				if s.byLine[file] == nil {
+					s.byLine[file] = make(map[int][]suppression)
+				}
+				s.byLine[file][line] = append(s.byLine[file][line], suppression{rule: fields[0]})
+			}
+		}
+	}
+	return s
+}
+
+// suppresses reports whether a directive covers the diagnostic: same file,
+// matching rule (or "all"), on the diagnostic's line or the line above.
+// File names in directives are raw position file names; the caller passes a
+// rewritten module-relative diagnostic, so match on suffix-insensitive keys
+// is avoided by storing raw names — see fileKeys.
+func (s *suppressionSet) suppresses(d Diagnostic) bool {
+	for file, lines := range s.byLine {
+		if !sameFile(file, d.File) {
+			continue
+		}
+		for _, sup := range lines[d.Line] {
+			if sup.rule == "all" || sup.rule == d.Rule {
+				return true
+			}
+		}
+		for _, sup := range lines[d.Line-1] {
+			if sup.rule == "all" || sup.rule == d.Rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sameFile matches a raw (absolute) position file name against a
+// module-relative diagnostic path.
+func sameFile(raw, rel string) bool {
+	raw = strings.ReplaceAll(raw, "\\", "/")
+	return raw == rel || strings.HasSuffix(raw, "/"+rel)
+}

@@ -1,0 +1,3 @@
+module fixture.example/detrand
+
+go 1.22

@@ -1,0 +1,48 @@
+// Fixture for the detrand rule: global math/rand draws and wall-clock
+// seeding are violations; injected generators and explicit seeds are not.
+// Expected diagnostics live in the lint_test.go table, keyed by line.
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+// globalDraw uses the process-wide source: line 13 violates.
+func globalDraw(n int) int {
+	return rand.Intn(n)
+}
+
+// moreGlobals: lines 18, 19, 20 violate.
+func moreGlobals() float64 {
+	rand.Seed(1)
+	rand.Shuffle(3, func(i, j int) {})
+	return rand.Float64() + rand.ExpFloat64()
+}
+
+// wallClockSeed seeds from the wall clock: line 25 violates.
+func wallClockSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// injected draws from a caller-supplied generator: clean.
+func injected(r *rand.Rand, n int) int {
+	return r.Intn(n)
+}
+
+// explicitSeed builds a generator from a fixed seed: clean.
+func explicitSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// fakeRand proves go/types-based resolution: a local identifier named rand
+// is not the package.
+type fakeRand struct{}
+
+func (fakeRand) Intn(n int) int { return 0 }
+
+// shadowed is clean: rand here is a local variable.
+func shadowed() int {
+	rand := fakeRand{}
+	return rand.Intn(3)
+}

@@ -1,0 +1,3 @@
+module fixture.example/floateq
+
+go 1.22

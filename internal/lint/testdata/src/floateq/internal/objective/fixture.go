@@ -1,0 +1,39 @@
+// Fixture for the floateq rule: exact ==/!= between float operands is a
+// violation; constant folding, integer comparisons, and epsilon tests are
+// not. Expected diagnostics live in the lint_test.go table, keyed by line.
+package objective
+
+import "math"
+
+type fitness float64
+
+// eq compares accumulated floats exactly: lines 12, 13 violate.
+func eq(a, b float64, c, d float32) bool {
+	return a == b ||
+		c != d
+}
+
+// namedFloat violates through a defined type with float underlying: line 18.
+func namedFloat(a, b fitness) bool {
+	return a == b
+}
+
+// zeroSentinel compares a variable to the constant 0: line 23 violates.
+func zeroSentinel(total float64) bool {
+	return total == 0
+}
+
+// constFold is exact by construction (both operands constant): clean.
+func constFold() bool {
+	return 1.5 == 3.0/2.0
+}
+
+// integers are exact: clean.
+func integers(a, b int) bool {
+	return a == b
+}
+
+// epsilon is the sanctioned comparison: clean.
+func epsilon(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}

@@ -1,0 +1,52 @@
+// Fixture for //schedlint:ignore handling: well-formed directives silence
+// diagnostics on their own line and the line below; wrong-rule directives
+// silence nothing; directives without a reason or naming an unknown rule
+// are themselves diagnosed (rule "ignore"). Expected diagnostics live in
+// the lint_test.go table, keyed by line.
+package objective
+
+// sameLine is suppressed by a trailing directive: clean.
+func sameLine(total float64) bool {
+	return total == 0 //schedlint:ignore floateq sum of non-negative terms, exact zero iff all terms are zero
+}
+
+// lineAbove is suppressed by the directive on the preceding line: clean.
+func lineAbove(a float64) bool {
+	//schedlint:ignore floateq zero is the documented unset sentinel
+	return a == 0
+}
+
+// allRule is suppressed by the wildcard: clean.
+func allRule(a, b float64) bool {
+	//schedlint:ignore all fixture exercising the wildcard
+	return a == b
+}
+
+// wrongRule names a different rule, so floateq still fires: line 29
+// violates.
+func wrongRule(a float64) bool {
+	//schedlint:ignore detrand directive aimed at the wrong rule
+	return a != 0
+}
+
+// tooFar sits two lines above the comparison, out of directive range:
+// line 37 violates.
+func tooFar(a float64) bool {
+	//schedlint:ignore floateq directives only reach one line down
+
+	return a == 0
+}
+
+// missingReason is malformed: line 43 gets an "ignore" diagnostic and the
+// comparison on line 44 still violates.
+func missingReason(a float64) bool {
+	//schedlint:ignore floateq
+	return a == 0
+}
+
+// unknownRule is malformed: line 50 gets an "ignore" diagnostic and the
+// comparison on line 51 still violates.
+func unknownRule(a float64) bool {
+	//schedlint:ignore floateqq typo in the rule name
+	return a == 0
+}

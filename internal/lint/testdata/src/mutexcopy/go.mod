@@ -1,0 +1,3 @@
+module fixture.example/mutexcopy
+
+go 1.22

@@ -1,0 +1,70 @@
+// Fixture for the mutexcopy rule: by-value movement of lock-containing
+// values is a violation; construction and pointer passing are not. Expected
+// diagnostics live in the lint_test.go table, keyed by line.
+package foo
+
+import "sync"
+
+// guarded contains a lock directly; nested embeds one transitively.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct {
+	inner guarded
+	tag   string
+}
+
+// byValueParam copies the lock on every call: line 20 violates.
+func byValueParam(g guarded) int {
+	return g.n
+}
+
+// byValueReceiver copies the lock on every method call: line 25 violates.
+func (g guarded) byValueReceiver() int {
+	return g.n
+}
+
+// derefCopy duplicates live lock state: line 31 violates.
+func derefCopy(g *guarded) {
+	cp := *g
+	_ = cp
+}
+
+// rangeCopy copies each element out of the slice: line 38 violates.
+func rangeCopy(gs []nested) int {
+	total := 0
+	for _, g := range gs {
+		total += g.inner.n
+	}
+	return total
+}
+
+// returnCopy leaks a copy of live state: line 46 violates.
+func returnCopy(g *nested) nested {
+	return *g
+}
+
+// construct returns a fresh composite literal: clean.
+func construct() guarded {
+	return guarded{}
+}
+
+// pointers move references, never lock state: clean.
+func pointers(gs []*guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+// indexRange avoids the element copy: clean.
+func indexRange(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}

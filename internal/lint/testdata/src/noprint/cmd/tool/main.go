@@ -1,0 +1,8 @@
+// Commands own the terminal; cmd/ is outside noprint's scope.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("ok")
+}

@@ -1,0 +1,3 @@
+module fixture.example/noprint
+
+go 1.22

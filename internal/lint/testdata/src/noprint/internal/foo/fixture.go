@@ -1,0 +1,33 @@
+// Fixture for the noprint rule: stdout/stderr writes from library packages
+// are violations; Sprintf/Fprintf to an injected writer are not. Expected
+// diagnostics live in the lint_test.go table, keyed by line.
+package foo
+
+import (
+	"fmt"
+	"io"
+)
+
+// chatty writes to stdout/stderr behind the caller's back: lines 14, 15, 16
+// violate.
+func chatty(n int) {
+	fmt.Println("n =", n)
+	fmt.Printf("%d\n", n)
+	println("debug", n)
+}
+
+// clean renders through values and injected writers.
+func clean(w io.Writer, n int) string {
+	fmt.Fprintf(w, "%d\n", n)
+	return fmt.Sprintf("%d", n)
+}
+
+// printlnMethod proves builtin resolution: a method named println is clean.
+type logger struct{}
+
+func (logger) println(args ...any) {}
+
+func viaMethod() {
+	var l logger
+	l.println("fine")
+}

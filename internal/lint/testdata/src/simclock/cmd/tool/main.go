@@ -1,0 +1,8 @@
+// Commands talk to humans in real time; cmd/ is outside simclock's scope.
+package main
+
+import "time"
+
+func main() {
+	_ = time.Now()
+}

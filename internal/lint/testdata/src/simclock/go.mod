@@ -1,0 +1,3 @@
+module fixture.example/simclock
+
+go 1.22

@@ -1,0 +1,11 @@
+// The daemon measures real scheduling time (the paper's SA metric), so
+// internal/service sits outside simclock's scope: nothing here is flagged.
+package service
+
+import "time"
+
+func measure() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}

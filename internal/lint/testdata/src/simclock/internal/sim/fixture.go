@@ -1,0 +1,28 @@
+// Fixture for the simclock rule: wall-clock reads in simulation packages
+// are violations; representing durations is not. Expected diagnostics live
+// in the lint_test.go table, keyed by line.
+package sim
+
+import "time"
+
+// readClock observes real time: lines 10, 11, 15 violate.
+func readClock() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	// Representing a duration (time.Millisecond above) is fine; observing
+	// the clock is not.
+	var d time.Duration = 2 * time.Second
+	return time.Since(start) + d
+}
+
+// ticker schedules on the host clock: lines 20, 22 violate.
+func ticker() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	_ = time.After(time.Minute)
+}
+
+// represent only names duration types and constants: clean.
+func represent(budget time.Duration) float64 {
+	return budget.Seconds()
+}

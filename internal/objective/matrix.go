@@ -247,9 +247,11 @@ func (mx *Matrix) Norms() (normTime, normCost float64) {
 			normCost += mx.Cost(i, j)
 		}
 	}
+	//schedlint:ignore floateq sum of non-negative exec times is exactly 0 iff every term is 0; guards division by zero
 	if normTime == 0 {
 		normTime = 1
 	}
+	//schedlint:ignore floateq sum of non-negative costs is exactly 0 iff every term is 0; guards division by zero
 	if normCost == 0 {
 		normCost = 1
 	}

@@ -88,6 +88,7 @@ func New(cfg Config) *Scheduler {
 	if cfg.Iterations == 0 {
 		cfg.Iterations = def.Iterations
 	}
+	//schedlint:ignore floateq 0 is the documented "use default" sentinel on caller-set config, not a computed value
 	if cfg.W == 0 && cfg.C1 == 0 && cfg.C2 == 0 {
 		cfg.W, cfg.C1, cfg.C2 = def.W, def.C1, def.C2
 	}

@@ -33,10 +33,13 @@ func (*Deadline) Schedule(ctx *Context) ([]Assignment, error) {
 		ca, cb := ctx.Cloudlets[order[a]], ctx.Cloudlets[order[b]]
 		di, dj := ca.Deadline, cb.Deadline
 		switch {
+		//schedlint:ignore floateq Deadline 0 is the documented "unconstrained" sentinel, assigned literally and never accumulated
 		case di != 0 && dj != 0:
 			return di < dj // EDF among constrained cloudlets
+		//schedlint:ignore floateq Deadline 0 is the documented "unconstrained" sentinel, assigned literally and never accumulated
 		case di != 0:
 			return true // constrained before unconstrained
+		//schedlint:ignore floateq Deadline 0 is the documented "unconstrained" sentinel, assigned literally and never accumulated
 		case dj != 0:
 			return false
 		default:

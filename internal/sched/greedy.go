@@ -142,7 +142,9 @@ func minMaxSchedule(ctx *Context, pickMax bool) ([]Assignment, error) {
 				// Max-Min compares by task size first: largest task, then
 				// earliest completion for determinism.
 				if length(cands[i].idx) > length(cands[pick].idx) ||
-					(length(cands[i].idx) == length(cands[pick].idx) && cands[i].ct < cands[pick].ct) {
+					// The tie-break compares raw input lengths (Table IV/VI data),
+					// not computed sums; exact grouping is intended.
+					(length(cands[i].idx) == length(cands[pick].idx) && cands[i].ct < cands[pick].ct) { //schedlint:ignore floateq tie-break on raw input lengths, not computed sums
 					pick = i
 				}
 			} else if cands[i].ct < cands[pick].ct {

@@ -51,6 +51,7 @@ func (e *Event) Canceled() bool { return e.canceled }
 // before reports whether e should fire before other, implementing the
 // deterministic (time, priority, seq) ordering.
 func (e *Event) before(other *Event) bool {
+	//schedlint:ignore floateq comparators need a strict total order; epsilon equality is intransitive, and ties fall through to (priority, seq)
 	if e.time != other.time {
 		return e.time < other.time
 	}
