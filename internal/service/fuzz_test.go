@@ -1,0 +1,54 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bioschedsim/internal/cloud"
+)
+
+// FuzzDecodeSubmit drives arbitrary bytes through the daemon's submit
+// boundary and asserts the contract Submit relies on: decodeSubmit either
+// errors or yields at least one spec, Validate never panics, and any spec
+// that passes Validate can be materialized by cloud.NewCloudlet (after the
+// same PEs defaulting Submit applies) without panicking. A committed seed
+// corpus under testdata/fuzz covers both request forms, both rejection
+// paths, and the float edge cases (NaN, Inf, negative) Validate exists for;
+// verify.sh fuzzes this target for a few seconds on every run.
+func FuzzDecodeSubmit(f *testing.F) {
+	f.Add([]byte(`{"length": 2500}`))
+	f.Add([]byte(`{"cloudlets": [{"length": 1, "pes": 2}, {"length": 9.5, "deadline": 3}]}`))
+	f.Add([]byte(`{"cloudlets": []}`))
+	f.Add([]byte(`{"length": -1}`))
+	f.Add([]byte(`{"length": 1e309}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		specs, err := decodeSubmit(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(specs) == 0 {
+			t.Fatalf("decodeSubmit returned no error and no specs for %q", data)
+		}
+		for _, spec := range specs {
+			if err := spec.Validate(); err != nil {
+				continue
+			}
+			// Validate accepted the spec; the construction path must hold.
+			pes := spec.PEs
+			if pes == 0 {
+				pes = 1
+			}
+			c := cloud.NewCloudlet(1, spec.Length, pes, spec.FileSize, spec.OutputSize)
+			if c.Length != spec.Length {
+				t.Fatalf("cloudlet length %v != spec length %v", c.Length, spec.Length)
+			}
+		}
+		// A decoded request must survive a JSON round-trip: the wire form is
+		// the daemon's public API.
+		if _, err := json.Marshal(specs); err != nil {
+			t.Fatalf("re-encoding accepted specs: %v", err)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -52,21 +53,33 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// decodeSubmit parses a submit body into the cloudlet specs it carries,
+// accepting either form documented on submitRequest. It is the fuzzed
+// boundary between untrusted bytes and the typed Submit path
+// (FuzzDecodeSubmit), so every rejection must come back as an error — never
+// a panic.
+func decodeSubmit(r io.Reader) ([]CloudletSpec, error) {
 	var req submitRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("malformed request: %v", err)})
-		return
+		return nil, fmt.Errorf("malformed request: %v", err)
 	}
 	specs := req.Cloudlets
 	if len(specs) == 0 {
 		if req.CloudletSpec == (CloudletSpec{}) {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty submission: provide cloudlet fields or a non-empty \"cloudlets\" array"})
-			return
+			return nil, errors.New("empty submission: provide cloudlet fields or a non-empty \"cloudlets\" array")
 		}
 		specs = []CloudletSpec{req.CloudletSpec}
+	}
+	return specs, nil
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	specs, err := decodeSubmit(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
 	}
 	ids, err := s.Submit(specs)
 	switch {
