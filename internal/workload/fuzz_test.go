@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace drives arbitrary bytes through the CSV trace parser and
+// asserts the replay contract: an accepted trace contains only finite,
+// range-checked values (the simulator has no defense against NaN arrivals
+// downstream), and WriteTrace∘ReadTrace round-trips entry-for-entry, so a
+// re-exported trace replays identically. A committed seed corpus under
+// testdata/fuzz covers both header forms, malformed rows, and non-finite
+// floats; verify.sh fuzzes this target for a few seconds on every run.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte("id,length_mi,pes,filesize_mb,outputsize_mb,arrival_s\n1,250,1,300,300,0\n"))
+	f.Add([]byte("id,length_mi,pes,filesize_mb,outputsize_mb,arrival_s,deadline_s\n1,250,1,300,300,0.5,12\n2,1000,2,0,0,1.25,0\n"))
+	f.Add([]byte("id,length_mi,pes,filesize_mb,outputsize_mb,arrival_s\n1,NaN,1,300,300,0\n"))
+	f.Add([]byte("id,length_mi,pes,filesize_mb,outputsize_mb,arrival_s\n1,+Inf,1,300,300,0\n"))
+	f.Add([]byte("id,length_mi,pes\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(entries) == 0 {
+			t.Fatal("ReadTrace returned no error and no entries")
+		}
+		for i, e := range entries {
+			c := e.Cloudlet
+			for name, v := range map[string]float64{
+				"length": c.Length, "filesize": c.FileSize, "outputsize": c.OutputSize,
+				"arrival": e.Arrival, "deadline": c.Deadline,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("entry %d: accepted non-finite %s %v", i, name, v)
+				}
+			}
+			if c.Length <= 0 || c.PEs <= 0 || e.Arrival < 0 || c.Deadline < 0 {
+				t.Fatalf("entry %d: accepted out-of-range values %+v arrival=%v", i, c, e.Arrival)
+			}
+		}
+
+		// Round-trip: what we write back must parse to the same trace.
+		var buf strings.Builder
+		if err := WriteTrace(&buf, entries); err != nil {
+			t.Fatalf("WriteTrace on accepted entries: %v", err)
+		}
+		again, err := ReadTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-reading written trace: %v\ntrace:\n%s", err, buf.String())
+		}
+		if len(again) != len(entries) {
+			t.Fatalf("round-trip changed entry count: %d -> %d", len(entries), len(again))
+		}
+		for i := range entries {
+			a, b := entries[i], again[i]
+			if a.Cloudlet.ID != b.Cloudlet.ID || a.Cloudlet.Length != b.Cloudlet.Length ||
+				a.Cloudlet.PEs != b.Cloudlet.PEs || a.Arrival != b.Arrival ||
+				a.Cloudlet.Deadline != b.Cloudlet.Deadline {
+				t.Fatalf("round-trip changed entry %d: %+v arrival=%v -> %+v arrival=%v",
+					i, a.Cloudlet, a.Arrival, b.Cloudlet, b.Arrival)
+			}
+		}
+	})
+}

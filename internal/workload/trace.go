@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"bioschedsim/internal/cloud"
@@ -63,16 +64,33 @@ func ReadTrace(r io.Reader) ([]TraceEntry, error) {
 		if len(rec) != want {
 			return nil, fmt.Errorf("workload: trace line %d: %d fields, want %d", line, len(rec), want)
 		}
+		// id and pes are integers; parsing them as floats would silently
+		// truncate fractions and corrupt ids above 2^53 on round-trips.
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d id %q: %w", line, rec[0], err)
+		}
+		pes, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d pes %q: %w", line, rec[2], err)
+		}
 		nums := make([]float64, len(rec))
 		for i, f := range rec {
+			if i == 0 || i == 2 {
+				continue
+			}
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
 				return nil, fmt.Errorf("workload: trace line %d field %q: %w", line, f, err)
 			}
+			// NaN and ±Inf parse fine but poison the simulator: NaN
+			// arrivals break event ordering and infinite lengths never
+			// finish. Reject them at the boundary.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("workload: trace line %d field %q: value must be finite", line, f)
+			}
 			nums[i] = v
 		}
-		id := int(nums[0])
-		pes := int(nums[2])
 		if nums[1] <= 0 || pes <= 0 {
 			return nil, fmt.Errorf("workload: trace line %d: non-positive length or pes", line)
 		}
