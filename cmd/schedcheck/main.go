@@ -1,0 +1,181 @@
+// Command schedcheck runs the property-testing harness (internal/check)
+// over the registered schedulers: randomized scenarios spanning the paper's
+// parameter space and its degenerate corners, checked against the shared
+// invariant suite (conservation, determinism, permutation invariance,
+// differential oracle, Eq. 12/13 sanity, empty-batch rejection).
+//
+// Usage:
+//
+//	schedcheck [-quick] [-seed N] [-n N] [-duration D] [-schedulers a,b]
+//	           [-classes c1,c2] [-max-vms N] [-max-cloudlets N]
+//	schedcheck replay -scheduler NAME -scenario CLASS -seed N
+//	           -vms N -cloudlets N -dcs N
+//
+// The default mode generates -n scenarios per class and checks every
+// scheduler against each; -quick selects the small CI budget (~2 s),
+// -duration keeps launching campaigns with fresh root seeds until the soak
+// budget elapses. Failures are shrunk to a minimal reproduction and printed
+// with a one-line replay command; feed that line back through the replay
+// subcommand to re-execute exactly the failing check. Exit codes: 0 clean,
+// 1 invariant violations, 2 usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"bioschedsim/internal/check"
+	"bioschedsim/internal/sched"
+
+	// Link every scheduler into the registry so campaigns cover the full
+	// algorithm set by default.
+	_ "bioschedsim/internal/aco"
+	_ "bioschedsim/internal/ga"
+	_ "bioschedsim/internal/hbo"
+	_ "bioschedsim/internal/hybrid"
+	_ "bioschedsim/internal/pso"
+	_ "bioschedsim/internal/rbs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "replay" {
+		return runReplay(args[1:], stdout, stderr)
+	}
+	return runCampaign(args, stdout, stderr)
+}
+
+// splitList parses a comma-separated flag value into its non-empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+func runCampaign(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		quick        = fs.Bool("quick", false, "CI budget: fewer scenarios, smaller caps")
+		seed         = fs.Uint64("seed", 1, "root `seed` for the campaign")
+		n            = fs.Int("n", 0, "scenarios per class (0 means the mode default)")
+		duration     = fs.Duration("duration", 0, "soak: repeat campaigns with fresh seeds for this long")
+		schedulers   = fs.String("schedulers", "", "comma-separated scheduler `names` (default: all registered)")
+		classes      = fs.String("classes", "", "comma-separated scenario `classes` (default: all)")
+		maxVMs       = fs.Int("max-vms", 0, "cap on generated VM counts (0 means the mode default)")
+		maxCloudlets = fs.Int("max-cloudlets", 0, "cap on generated cloudlet counts (0 means the mode default)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: schedcheck [flags]\n       schedcheck replay -scheduler NAME -scenario CLASS -seed N -vms N -cloudlets N -dcs N\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "scenario classes: %s\nregistered schedulers: %s\n",
+			strings.Join(check.Classes(), ", "), strings.Join(sched.Names(), ", "))
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "schedcheck: unexpected arguments %q\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	cfg := check.Default()
+	if *quick {
+		cfg = check.Quick()
+	}
+	cfg.Seed = *seed
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *maxVMs > 0 {
+		cfg.MaxVMs = *maxVMs
+	}
+	if *maxCloudlets > 0 {
+		cfg.MaxCloudlets = *maxCloudlets
+	}
+	cfg.Schedulers = splitList(*schedulers)
+	cfg.Classes = splitList(*classes)
+
+	var (
+		total    check.Result
+		rounds   int
+		deadline = time.Now().Add(*duration)
+	)
+	for {
+		res, err := check.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "schedcheck: %v\n", err)
+			return 2
+		}
+		rounds++
+		total.Scenarios += res.Scenarios
+		total.Checks += res.Checks
+		total.Failures = append(total.Failures, res.Failures...)
+		if *duration <= 0 || !time.Now().Before(deadline) {
+			break
+		}
+		cfg.Seed++ // fresh scenarios next round; each round stays replayable
+	}
+
+	for _, f := range total.Failures {
+		fmt.Fprintln(stdout, f)
+	}
+	fmt.Fprintf(stdout, "schedcheck: %d checks over %d scenarios (%d rounds): %d violation(s)\n",
+		total.Checks, total.Scenarios, rounds, len(total.Failures))
+	if !total.OK() {
+		return 1
+	}
+	return 0
+}
+
+func runReplay(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedcheck replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		scheduler = fs.String("scheduler", "", "scheduler `name` to re-check (required)")
+		class     = fs.String("scenario", "", "scenario `class` (required)")
+		seed      = fs.Uint64("seed", 0, "scenario `seed`")
+		vms       = fs.Int("vms", 0, "VM count")
+		cloudlets = fs.Int("cloudlets", 0, "cloudlet count")
+		dcs       = fs.Int("dcs", 1, "datacenter count")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: schedcheck replay -scheduler NAME -scenario CLASS -seed N -vms N -cloudlets N -dcs N\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *scheduler == "" || *class == "" {
+		fmt.Fprintln(stderr, "schedcheck replay: -scheduler and -scenario are required")
+		fs.Usage()
+		return 2
+	}
+	if _, err := sched.New(*scheduler); err != nil {
+		fmt.Fprintf(stderr, "schedcheck replay: %v\n", err)
+		return 2
+	}
+	sc := check.Scenario{Class: *class, VMs: *vms, Cloudlets: *cloudlets, DCs: *dcs, Seed: *seed}
+	if err := sc.Validate(); err != nil {
+		fmt.Fprintf(stderr, "schedcheck replay: %v\n", err)
+		return 2
+	}
+	if v := check.CheckScenario(*scheduler, sc); v != nil {
+		fmt.Fprintf(stdout, "FAIL %s %v: %s: %v\n", *scheduler, sc, v.Invariant, v.Err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok %s %v\n", *scheduler, sc)
+	return 0
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bioschedsim/internal/sched"
+)
+
+// ladderBroken spills one assignment out of range when the batch is larger
+// than the fleet — a conservation violation on most generated scenarios.
+type ladderBroken struct{}
+
+func (ladderBroken) Name() string { return "clibroken" }
+func (ladderBroken) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]sched.Assignment, len(ctx.Cloudlets))
+	for i, c := range ctx.Cloudlets {
+		out[i] = sched.Assignment{Cloudlet: c, VM: ctx.VMs[i%len(ctx.VMs)]}
+	}
+	if len(out) >= 2 {
+		out[1] = out[0]
+	}
+	return out, nil
+}
+
+func init() {
+	sched.Register("clibroken", func() sched.Scheduler { return ladderBroken{} })
+}
+
+func TestQuickCampaignExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-schedulers", "base,greedy,hbo,rbs"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "0 violation(s)") {
+		t.Fatalf("missing summary line: %s", out.String())
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-nosuchflag"},
+		{"stray-arg"},
+		{"-schedulers", "nosuchscheduler"},
+		{"-classes", "nosuchclass"},
+		{"replay"},
+		{"replay", "-scheduler", "nosuchscheduler", "-scenario", "heter", "-vms", "1", "-cloudlets", "1"},
+		{"replay", "-scheduler", "base", "-scenario", "nosuchclass", "-vms", "1", "-cloudlets", "1"},
+	} {
+		var out, errOut strings.Builder
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Errorf("args %q: exit %d, want 2 (stdout: %s)", args, code, out.String())
+		}
+	}
+}
+
+func TestReplayOfPassingScenarioExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"replay", "-scheduler", "base", "-scenario", "homog",
+		"-seed", "7", "-vms", "4", "-cloudlets", "12", "-dcs", "1"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "ok base") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+// TestBrokenSchedulerRoundTrip drives the acceptance path end to end through
+// the CLI: the campaign catches the violation and prints a replay line, and
+// feeding that line's flags back through the replay subcommand reproduces
+// the failure.
+func TestBrokenSchedulerRoundTrip(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-schedulers", "clibroken", "-classes", "heter"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("campaign over broken scheduler: exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	var replayLine string
+	for _, line := range strings.Split(out.String(), "\n") {
+		if i := strings.Index(line, "replay: "); i >= 0 {
+			replayLine = line[i+len("replay: "):]
+			break
+		}
+	}
+	if replayLine == "" {
+		t.Fatalf("no replay command in output:\n%s", out.String())
+	}
+	fields := strings.Fields(replayLine)
+	if len(fields) < 2 || fields[0] != "schedcheck" || fields[1] != "replay" {
+		t.Fatalf("malformed replay command %q", replayLine)
+	}
+	var replayOut, replayErr strings.Builder
+	if code := run(fields[1:], &replayOut, &replayErr); code != 1 {
+		t.Fatalf("replay %q: exit %d, want 1 (stderr: %s)", replayLine, code, replayErr.String())
+	}
+	if !strings.Contains(replayOut.String(), "conservation") {
+		t.Fatalf("replay did not report the conservation violation: %s", replayOut.String())
+	}
+}
+
+func TestSoakDurationRunsMultipleRounds(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-quick", "-schedulers", "base", "-classes", "homog",
+		"-n", "1", "-duration", "10ms"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "rounds") {
+		t.Fatalf("missing rounds in summary: %s", out.String())
+	}
+}

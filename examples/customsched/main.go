@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -91,6 +92,10 @@ func (s *localSearch) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 }
 
 func main() {
+	nVMs := flag.Int("vms", 60, "VM fleet size")
+	nCloudlets := flag.Int("cloudlets", 1200, "cloudlet batch size")
+	flag.Parse()
+
 	// Register the custom scheduler exactly like the built-ins do, so CLI
 	// tooling and experiment harnesses can find it by name.
 	sched.Register("localsearch", func() sched.Scheduler { return &localSearch{moves: 2000} })
@@ -102,7 +107,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		scenario, err := workload.Heterogeneous(60, 1200, 4, 99)
+		scenario, err := workload.Heterogeneous(*nVMs, *nCloudlets, 4, 99)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -24,11 +25,13 @@ import (
 )
 
 func main() {
+	nVMsF := flag.Int("vms", 12, "VM fleet size")
+	nCloudletF := flag.Int("cloudlets", 120, "cloudlet batch size")
+	flag.Parse()
+	nVMs, nCloudlet := *nVMsF, *nCloudletF
 	const (
-		nVMs      = 12
-		nCloudlet = 120
-		rate      = 2.0 // cloudlet arrivals per second
-		seed      = 7
+		rate = 2.0 // cloudlet arrivals per second
+		seed = 7
 	)
 
 	scenario, err := workload.Heterogeneous(nVMs, nCloudlet, 3, seed)

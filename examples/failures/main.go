@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -24,11 +25,11 @@ import (
 )
 
 func main() {
-	const (
-		nVMs      = 12
-		nCloudlet = 240
-		seed      = 21
-	)
+	nVMsF := flag.Int("vms", 12, "VM fleet size")
+	nCloudletF := flag.Int("cloudlets", 240, "cloudlet batch size")
+	flag.Parse()
+	nVMs, nCloudlet := *nVMsF, *nCloudletF
+	const seed = 21
 	scenario, err := workload.Heterogeneous(nVMs, nCloudlet, 3, seed)
 	if err != nil {
 		log.Fatal(err)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -26,11 +27,13 @@ import (
 )
 
 func main() {
+	nVMsF := flag.Int("vms", 100, "VM fleet size")
+	nCloudletF := flag.Int("cloudlets", 2000, "cloudlet batch size")
+	flag.Parse()
+	nVMs, nCloudlet := *nVMsF, *nCloudletF
 	const (
-		nVMs      = 100
-		nCloudlet = 2000
-		nDCs      = 4
-		seed      = 2016 // the paper's year; any seed reproduces the shapes
+		nDCs = 4
+		seed = 2016 // the paper's year; any seed reproduces the shapes
 	)
 	algorithms := []string{"aco", "base", "hbo", "rbs"}
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -20,10 +21,14 @@ import (
 )
 
 func main() {
+	nVMs := flag.Int("vms", 50, "VM fleet size")
+	nCloudlets := flag.Int("cloudlets", 1000, "cloudlet batch size")
+	flag.Parse()
+
 	// 1. Materialize the paper's heterogeneous scenario (Tables V-VII):
-	//    50 VMs with MIPS in [500,4000] across 4 datacenters with different
-	//    prices, and 1000 cloudlets with lengths in [1000,20000] MI.
-	scenario, err := workload.Heterogeneous(50, 1000, 4, 42)
+	//    VMs with MIPS in [500,4000] across 4 datacenters with different
+	//    prices, and cloudlets with lengths in [1000,20000] MI.
+	scenario, err := workload.Heterogeneous(*nVMs, *nCloudlets, 4, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +57,7 @@ func main() {
 
 	// 4. Collect and print the paper's metrics (§VI-C).
 	rep := metrics.Collect(scheduler.Name(), result.Finished, scenario.Env.VMs, schedulingTime)
-	fmt.Println("ACO on the heterogeneous scenario (50 VMs, 1000 cloudlets):")
+	fmt.Printf("ACO on the heterogeneous scenario (%d VMs, %d cloudlets):\n", *nVMs, *nCloudlets)
 	fmt.Printf("  scheduling time    %v\n", rep.SchedulingTime.Round(time.Microsecond))
 	fmt.Printf("  simulation time    %.1f ms   (Eq. 12)\n", rep.SimTimeMillis())
 	fmt.Printf("  time imbalance     %.3f      (Eq. 13)\n", rep.Imbalance)

@@ -1,0 +1,64 @@
+package bioschedsim_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesBuildAndRun builds every example program and smoke-runs it
+// with tiny parameters, so tier-1 tests catch example rot: an example that
+// no longer compiles against the library, or crashes on startup, fails
+// here instead of in a reader's terminal.
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke runs build binaries; skipped in -short mode")
+	}
+	examples := []struct {
+		name string
+		args []string
+		want string // substring the output must contain
+	}{
+		{"quickstart", []string{"-vms", "4", "-cloudlets", "20"}, "simulation time"},
+		{"customsched", []string{"-vms", "4", "-cloudlets", "24"}, "localsearch"},
+		{"dynamic", []string{"-vms", "4", "-cloudlets", "12"}, "energy"},
+		{"failures", []string{"-vms", "6", "-cloudlets", "24"}, "all work completed"},
+		{"heterogeneous", []string{"-vms", "5", "-cloudlets", "40"}, "aco"},
+		{"largescale", []string{"-scale", "0.005"}, "homogeneous"},
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[string]bool{}
+	for _, ex := range examples {
+		covered[ex.name] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !covered[e.Name()] {
+			t.Errorf("examples/%s has no smoke-run entry in this test", e.Name())
+		}
+	}
+
+	binDir := t.TempDir()
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(binDir, ex.name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+ex.name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			out, err := exec.Command(bin, ex.args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run %v: %v\n%s", ex.args, err, out)
+			}
+			if !strings.Contains(strings.ToLower(string(out)), ex.want) {
+				t.Fatalf("output missing %q:\n%s", ex.want, out)
+			}
+		})
+	}
+}

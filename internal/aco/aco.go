@@ -478,6 +478,7 @@ func (r *run) depositChunk(lo, hi int, delta float64) {
 
 func init() {
 	sched.Register("aco", func() sched.Scheduler { return Default() })
+	sched.DeclareTraits("aco", sched.Traits{Stochastic: true})
 }
 
 // TourLength exposes the internal tour-quality function (Eq. 8) for tests

@@ -1,0 +1,163 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/xrand"
+)
+
+// Config sizes one checking campaign. The zero value is not runnable; use
+// Default or Quick and override fields as needed.
+type Config struct {
+	// Schedulers to check; empty means every registered scheduler.
+	Schedulers []string
+	// Classes of scenarios to generate; empty means Classes().
+	Classes []string
+	// Seed is the root of all randomness: scenario sizes, workload content,
+	// scheduler streams, permutations. Same seed, same campaign.
+	Seed uint64
+	// N is the number of scenarios generated per (class); every scheduler
+	// runs on every scenario.
+	N int
+	// MaxVMs and MaxCloudlets cap generated scenario sizes.
+	MaxVMs       int
+	MaxCloudlets int
+}
+
+// Default returns the standard campaign configuration: broad enough to
+// exercise the metaheuristics' search loops, small enough to finish in
+// seconds.
+func Default() Config {
+	return Config{Seed: 1, N: 4, MaxVMs: 16, MaxCloudlets: 96}
+}
+
+// Quick returns the CI-budget configuration (~2 s across all registered
+// schedulers).
+func Quick() Config {
+	return Config{Seed: 1, N: 2, MaxVMs: 8, MaxCloudlets: 40}
+}
+
+// normalized fills in defaults.
+func (c Config) normalized() Config {
+	if len(c.Schedulers) == 0 {
+		c.Schedulers = sched.Names()
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = Classes()
+	}
+	if c.N <= 0 {
+		c.N = 4
+	}
+	if c.MaxVMs < 2 {
+		c.MaxVMs = 16
+	}
+	if c.MaxCloudlets < 2 {
+		c.MaxCloudlets = 96
+	}
+	return c
+}
+
+// Failure is one invariant breach, already shrunk to a minimal
+// reproduction and carrying its replay command.
+type Failure struct {
+	Scheduler string
+	Scenario  Scenario // the scenario that first failed
+	Shrunk    Scenario // minimal scenario still failing
+	Invariant string   // invariant breached at the shrunk scenario
+	Err       string
+	Replay    string // one-line schedcheck invocation reproducing Shrunk
+}
+
+// String renders the failure the way the CLI prints it.
+func (f Failure) String() string {
+	return fmt.Sprintf("FAIL %s %v: %s: %s\n  shrunk to %v\n  replay: %s",
+		f.Scheduler, f.Scenario, f.Invariant, f.Err, f.Shrunk, f.Replay)
+}
+
+// Result summarizes a campaign.
+type Result struct {
+	Scenarios int // scenarios generated
+	Checks    int // (scheduler, scenario) pairs checked
+	Failures  []Failure
+}
+
+// OK reports whether the campaign found no violations.
+func (r Result) OK() bool { return len(r.Failures) == 0 }
+
+// Run generates cfg.N scenarios per class and checks every configured
+// scheduler against each, shrinking any failure to a minimal reproduction.
+// The campaign is a pure function of cfg.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.normalized()
+	names := append([]string(nil), cfg.Schedulers...)
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := sched.New(name); err != nil {
+			return Result{}, err
+		}
+	}
+	var res Result
+	for ci, class := range cfg.Classes {
+		for i := 0; i < cfg.N; i++ {
+			seed := xrand.Stream(cfg.Seed, uint64(ci)<<32|uint64(i)).Uint64()
+			sc, err := Generate(class, seed, cfg.MaxVMs, cfg.MaxCloudlets)
+			if err != nil {
+				return res, err
+			}
+			res.Scenarios++
+			for _, name := range names {
+				res.Checks++
+				v := CheckScenario(name, sc)
+				if v == nil {
+					continue
+				}
+				shrunk, sv := Shrink(name, sc)
+				res.Failures = append(res.Failures, Failure{
+					Scheduler: name,
+					Scenario:  sc,
+					Shrunk:    shrunk,
+					Invariant: sv.Invariant,
+					Err:       sv.Err.Error(),
+					Replay:    shrunk.ReplayCommand(name),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Shrink reduces a failing scenario to a minimal reproduction by halving
+// the cloudlet count while the check still fails, then halving the VM
+// count. It returns the smallest still-failing scenario and its violation.
+// If sc does not fail, Shrink returns it unchanged with a nil violation.
+func Shrink(scheduler string, sc Scenario) (Scenario, *Violation) {
+	v := CheckScenario(scheduler, sc)
+	if v == nil {
+		return sc, nil
+	}
+	cur := sc
+	for cur.Cloudlets > 1 {
+		cand := cur
+		cand.Cloudlets /= 2
+		cv := CheckScenario(scheduler, cand)
+		if cv == nil {
+			break
+		}
+		cur, v = cand, cv
+	}
+	for cur.VMs > 1 {
+		cand := cur
+		cand.VMs /= 2
+		if cand.DCs > cand.VMs {
+			cand.DCs = cand.VMs
+		}
+		cv := CheckScenario(scheduler, cand)
+		if cv == nil {
+			break
+		}
+		cur, v = cand, cv
+	}
+	return cur, v
+}

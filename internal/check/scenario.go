@@ -1,0 +1,197 @@
+package check
+
+import (
+	"fmt"
+
+	"bioschedsim/internal/sched"
+	"bioschedsim/internal/sim"
+	"bioschedsim/internal/workload"
+	"bioschedsim/internal/xrand"
+)
+
+// Scenario classes. Each names one shape of the scenario space; together
+// they cover the paper's homogeneous/heterogeneous setups and the
+// degenerate corners hand-picked fixtures never reach.
+const (
+	// ClassHomogeneous is the paper's Tables III–IV setup: identical VMs,
+	// identical cloudlets, one datacenter.
+	ClassHomogeneous = "homog"
+	// ClassHeterogeneous is the paper's Tables V–VII setup: VM MIPS in
+	// [500,4000], cloudlet lengths in [1000,20000], priced datacenters.
+	ClassHeterogeneous = "heter"
+	// ClassFixture is the two-datacenter pricey/cheap fixture scheduler
+	// unit tests share, with its fixed ~4–5x price spread.
+	ClassFixture = "fixture"
+	// ClassOneVM degenerates the fleet to a single VM.
+	ClassOneVM = "onevm"
+	// ClassWideFleet has strictly more VMs than cloudlets, so some VMs
+	// must stay idle.
+	ClassWideFleet = "widefleet"
+	// ClassMultiPE gives every VM more processing elements than the fleet
+	// has VMs, stressing the capacity model's PE multiplier.
+	ClassMultiPE = "multipe"
+	// ClassBurst submits the batch through Poisson arrival bursts instead
+	// of the paper's batch-at-zero submission.
+	ClassBurst = "burst"
+	// ClassEmpty is the zero-length batch; schedulers must reject it.
+	ClassEmpty = "empty"
+)
+
+// Classes lists every scenario class in canonical order.
+func Classes() []string {
+	return []string{
+		ClassHomogeneous, ClassHeterogeneous, ClassFixture, ClassOneVM,
+		ClassWideFleet, ClassMultiPE, ClassBurst, ClassEmpty,
+	}
+}
+
+// Scenario is one fully specified check input. It is reconstructible from
+// its five fields alone — exactly what `schedcheck replay` accepts on the
+// command line — because Build derives all content deterministically from
+// Seed via xrand streams.
+type Scenario struct {
+	Class     string
+	VMs       int
+	Cloudlets int
+	DCs       int
+	Seed      uint64
+}
+
+// String renders the scenario compactly for failure reports.
+func (s Scenario) String() string {
+	return fmt.Sprintf("%s/vms=%d/cloudlets=%d/dcs=%d/seed=%d", s.Class, s.VMs, s.Cloudlets, s.DCs, s.Seed)
+}
+
+// ReplayCommand returns the one-line CLI invocation that rebuilds and
+// re-checks exactly this scenario against scheduler.
+func (s Scenario) ReplayCommand(scheduler string) string {
+	return fmt.Sprintf("schedcheck replay -scheduler %s -scenario %s -seed %d -vms %d -cloudlets %d -dcs %d",
+		scheduler, s.Class, s.Seed, s.VMs, s.Cloudlets, s.DCs)
+}
+
+// Validate rejects scenarios no builder can materialize.
+func (s Scenario) Validate() error {
+	if s.VMs < 1 {
+		return fmt.Errorf("check: scenario needs at least one VM, got %d", s.VMs)
+	}
+	if s.Cloudlets < 0 {
+		return fmt.Errorf("check: negative cloudlet count %d", s.Cloudlets)
+	}
+	if s.DCs < 1 {
+		return fmt.Errorf("check: scenario needs at least one datacenter, got %d", s.DCs)
+	}
+	switch s.Class {
+	case ClassHomogeneous, ClassHeterogeneous, ClassFixture, ClassOneVM,
+		ClassWideFleet, ClassMultiPE, ClassBurst, ClassEmpty:
+		return nil
+	default:
+		return fmt.Errorf("check: unknown scenario class %q (have %v)", s.Class, Classes())
+	}
+}
+
+// Generate draws a scenario of the given class, sized within the caps, as a
+// pure function of seed. The same seed also drives Build's content streams,
+// so (class, seed, caps) fully determines the run.
+func Generate(class string, seed uint64, maxVMs, maxCloudlets int) (Scenario, error) {
+	if maxVMs < 2 || maxCloudlets < 2 {
+		return Scenario{}, fmt.Errorf("check: caps too small (maxVMs=%d, maxCloudlets=%d)", maxVMs, maxCloudlets)
+	}
+	r := xrand.New(seed, 0)
+	sc := Scenario{
+		Class:     class,
+		Seed:      seed,
+		VMs:       1 + r.Intn(maxVMs),
+		Cloudlets: 1 + r.Intn(maxCloudlets),
+		DCs:       1 + r.Intn(3),
+	}
+	switch class {
+	case ClassHomogeneous:
+		sc.DCs = 1
+	case ClassFixture:
+		sc.DCs = 2 // the fixture is two datacenters by construction
+	case ClassOneVM:
+		sc.VMs, sc.DCs = 1, 1
+	case ClassWideFleet:
+		sc.VMs = 2 + r.Intn(maxVMs-1)
+		sc.Cloudlets = 1 + r.Intn(sc.VMs-1) // strictly fewer cloudlets than VMs
+	case ClassMultiPE:
+		sc.VMs = 1 + r.Intn(4) // Build gives each VM sc.VMs+1 PEs
+	case ClassEmpty:
+		sc.Cloudlets = 0
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// Build materializes the scenario. Every call returns fresh cloudlets, VMs,
+// and context random stream, all derived from s.Seed alone.
+func (s Scenario) Build() (*Built, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Class {
+	case ClassHomogeneous, ClassEmpty:
+		scn, err := workload.Homogeneous(s.VMs, s.Cloudlets, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Built{Ctx: scn.Context(), Env: scn.Env, Identical: true}, nil
+
+	case ClassHeterogeneous, ClassOneVM, ClassWideFleet:
+		scn, err := workload.Heterogeneous(s.VMs, s.Cloudlets, s.DCs, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Built{Ctx: scn.Context(), Env: scn.Env}, nil
+
+	case ClassFixture:
+		return HeterogeneousFixture(s.VMs, s.Cloudlets, s.Seed)
+
+	case ClassMultiPE:
+		// Every VM gets more PEs than the fleet has VMs, so per-VM capacity
+		// (MIPS × PEs) dominates the fleet width — the shape that catches
+		// capacity-vs-count confusions.
+		spec := workload.HeterogeneousVMSpec()
+		spec.PEs = s.VMs + 1
+		vms := workload.GenerateVMs(spec, s.VMs, s.Seed)
+		env, err := workload.GenerateEnvironment(workload.HeterogeneousDatacenterSpec(s.DCs), vms, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cls := workload.GenerateCloudlets(workload.HeterogeneousCloudletSpec(), s.Cloudlets, s.Seed)
+		return &Built{
+			Ctx: &sched.Context{
+				Cloudlets: cls, VMs: vms, Datacenters: env.Datacenters,
+				Rand: xrand.New(s.Seed, 4),
+			},
+			Env: env,
+		}, nil
+
+	case ClassBurst:
+		scn, err := workload.Heterogeneous(s.VMs, s.Cloudlets, s.DCs, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		// A bursty arrival process: on average a quarter of the batch per
+		// simulated second, so the whole batch lands inside a few seconds
+		// while VMs are still draining earlier arrivals.
+		rate := float64(s.Cloudlets) / 4
+		if rate < 1 {
+			rate = 1
+		}
+		offsets, err := workload.PoissonArrivals(s.Cloudlets, rate, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		arrivals := make([]sim.Time, len(offsets))
+		for i, t := range offsets {
+			arrivals[i] = sim.Time(t)
+		}
+		return &Built{Ctx: scn.Context(), Env: scn.Env, Arrivals: arrivals}, nil
+
+	default:
+		return nil, fmt.Errorf("check: unknown scenario class %q", s.Class)
+	}
+}

@@ -261,4 +261,7 @@ func leastLoadedVM(st *dcState) int {
 
 func init() {
 	sched.Register("hbo", func() sched.Scheduler { return Default() })
+	// HBO is rule-driven (no ctx.Rand draws), but its forage ordering is
+	// submission-order-sensitive, so no permutation claim.
+	sched.DeclareTraits("hbo", sched.Traits{})
 }

@@ -86,7 +86,7 @@ func TestHBODefaultFillsCheapDatacenterFirst(t *testing.T) {
 	// full share before anything spills to the pricey one, so with
 	// unsaturating load everything lands cheap.
 	ctx := schedtest.Heterogeneous(t, 10, 200, 3)
-	got, err := New(Config{Groups: 2, FacLB: 40}).Schedule(ctx)
+	got, err := New(Config{Groups: 2, FacLB: 60}).Schedule(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestHBOLongestCloudletsGoCheapest(t *testing.T) {
 	// first: under a fair-share facLB the mean length routed cheap must
 	// exceed the mean length routed pricey.
 	ctx := schedtest.Heterogeneous(t, 10, 300, 13)
-	got, err := New(Config{Groups: 2, FacLB: 30}).Schedule(ctx)
+	got, err := New(Config{Groups: 2, FacLB: 36}).Schedule(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}

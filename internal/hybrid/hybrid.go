@@ -185,4 +185,5 @@ func (s *Scheduler) classify(ctx *sched.Context) Objective {
 
 func init() {
 	sched.Register("hybrid", func() sched.Scheduler { return Default() })
+	sched.DeclareTraits("hybrid", sched.Traits{})
 }

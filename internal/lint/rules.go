@@ -24,6 +24,8 @@ var deterministicPkgs = []string{
 	"internal/online",
 	"internal/workload",
 	"internal/cloud",
+	"internal/check",
+	"internal/schedtest",
 }
 
 // simclockExempt are packages inside the deterministic set's neighborhood

@@ -99,3 +99,38 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	return snap
 }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket layout the
+// way Prometheus' histogram_quantile does: find the first bucket whose
+// cumulative count reaches q·Count and interpolate linearly within it,
+// treating the first bucket's lower edge as 0. Observations above the last
+// bound live in the implicit +Inf bucket, so any quantile landing there
+// clamps to the last finite bound — the histogram cannot resolve beyond it.
+// It returns NaN for an empty histogram or a q outside [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	snap := h.Snapshot()
+	if snap.Count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(snap.Count)
+	last := len(snap.Bounds) - 1
+	for i, cum := range snap.Cumulative {
+		if float64(cum) < rank {
+			continue
+		}
+		lo, loCount := 0.0, uint64(0)
+		if i > 0 {
+			lo, loCount = snap.Bounds[i-1], snap.Cumulative[i-1]
+		}
+		in := snap.Cumulative[i] - loCount
+		if in == 0 {
+			return snap.Bounds[i]
+		}
+		return lo + (snap.Bounds[i]-lo)*(rank-float64(loCount))/float64(in)
+	}
+	// The rank falls in the +Inf bucket: clamp to the largest finite bound.
+	return snap.Bounds[last]
+}

@@ -99,3 +99,64 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 		t.Fatalf("cumulative exceeds count: %+v", snap)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	approx := func(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+	cases := []struct {
+		name    string
+		bounds  []float64
+		observe []float64
+		q       float64
+		want    float64 // math.NaN() means "expect NaN"
+	}{
+		{"empty histogram", []float64{1, 10}, nil, 0.5, math.NaN()},
+		{"negative q", []float64{1, 10}, []float64{5}, -0.1, math.NaN()},
+		{"q above one", []float64{1, 10}, []float64{5}, 1.5, math.NaN()},
+		{"NaN q", []float64{1, 10}, []float64{5}, math.NaN(), math.NaN()},
+		// A single observation in (1,10] interpolates within that bucket:
+		// rank q·1 over 1 in-bucket count spans the bucket linearly.
+		{"single observation median", []float64{1, 10}, []float64{5}, 0.5, 1 + 9*0.5},
+		{"single observation p100", []float64{1, 10}, []float64{5}, 1, 10},
+		// First bucket's lower edge is 0.
+		{"first bucket interpolates from zero", []float64{10, 20}, []float64{1, 2, 3, 4}, 0.5, 5},
+		// Observations above the last bound land in +Inf and clamp.
+		{"out-of-range clamps to last bound", []float64{1, 10}, []float64{500, 600, 700}, 0.9, 10},
+		{"zero q of nonempty", []float64{1, 10}, []float64{0.5, 5}, 0, 0},
+		// Even split across two buckets: p50 hits the first bound exactly.
+		{"even split", []float64{1, 10}, []float64{0.5, 1, 5, 7}, 0.5, 1},
+		{"p75 of even split", []float64{1, 10}, []float64{0.5, 1, 5, 7}, 0.75, 1 + 9*0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.bounds)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.q)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Quantile(%v) = %v, want NaN", tc.q, got)
+				}
+				return
+			}
+			if !approx(got, tc.want) {
+				t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := NewHistogram(ExpBuckets(0.001, 2, 16))
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.001 * float64(i%64))
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v after %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}

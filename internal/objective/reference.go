@@ -1,0 +1,107 @@
+package objective
+
+import (
+	"fmt"
+	"math"
+
+	"bioschedsim/internal/cloud"
+)
+
+// This file is the differential oracle for the evaluation layer: a
+// deliberately naive re-implementation of Eq. 8 and the §VI-C-4 cost that
+// replays each VM's queue straight-line from the cloud model, with no class
+// compression, no materialized matrix, and no delta bookkeeping. The
+// property-testing harness (internal/check) runs it against the Evaluator
+// on randomized assignments; any divergence beyond tolerance means the
+// optimized hot path drifted from the paper's formulas.
+//
+// Keep these functions boring. Their value is that they share nothing with
+// Matrix/Evaluator except cloud.VM.EstimateExecTime and
+// cloud.ProcessingCost themselves.
+
+// ReferenceLoads computes per-VM estimated busy seconds for the assignment
+// vector pos (pos[i] = VM index of cloudlet i) by summing Eq. 6 estimates
+// in ascending cloudlet order — the canonical accumulation order — directly
+// from the cloud model.
+func ReferenceLoads(cloudlets []*cloud.Cloudlet, vms []*cloud.VM, pos []int) []float64 {
+	busy := make([]float64, len(vms))
+	for i, j := range pos {
+		busy[j] += vms[j].EstimateExecTime(cloudlets[i])
+	}
+	return busy
+}
+
+// ReferenceMakespan computes Eq. 8's estimated makespan of pos the slow way:
+// max over ReferenceLoads.
+func ReferenceMakespan(cloudlets []*cloud.Cloudlet, vms []*cloud.VM, pos []int) float64 {
+	var max float64
+	for _, t := range ReferenceLoads(cloudlets, vms, pos) {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// ReferenceCost sums the §VI-C-4 processing cost of pos in ascending
+// cloudlet order directly from the cloud pricing model.
+func ReferenceCost(cloudlets []*cloud.Cloudlet, vms []*cloud.VM, pos []int) float64 {
+	var total float64
+	for i, j := range pos {
+		total += cloud.ProcessingCost(cloudlets[i], vms[j])
+	}
+	return total
+}
+
+// relDiff returns |a−b| scaled by max(1, |a|, |b|), so the tolerance reads
+// as absolute near zero and relative for large magnitudes.
+func relDiff(a, b float64) float64 {
+	scale := 1.0
+	if s := math.Abs(a); s > scale {
+		scale = s
+	}
+	if s := math.Abs(b); s > scale {
+		scale = s
+	}
+	return math.Abs(a-b) / scale
+}
+
+// VerifyAgainstReference checks that the class-compressed fast path (a
+// Matrix plus an Evaluator SetAll) agrees with the straight-line reference
+// executor on the assignment vector pos, to relative tolerance tol on both
+// makespan and (when mx was built WithCost) total cost. It returns a
+// descriptive error on the first divergence.
+func VerifyAgainstReference(mx *Matrix, pos []int, tol float64) error {
+	if len(pos) != mx.n {
+		return fmt.Errorf("objective: assignment vector has %d entries for %d cloudlets", len(pos), mx.n)
+	}
+	for i, j := range pos {
+		if j < 0 || j >= mx.m {
+			return fmt.Errorf("objective: cloudlet %d assigned to out-of-range VM index %d (fleet %d)", i, j, mx.m)
+		}
+	}
+	refMk := ReferenceMakespan(mx.cloudlets, mx.vms, pos)
+
+	ev := NewEvaluator(mx, mx.cost != nil)
+	ev.SetAll(pos)
+	if d := relDiff(ev.Makespan(), refMk); d > tol {
+		return fmt.Errorf("objective: Evaluator makespan %v diverges from reference %v (rel %.3g > tol %.3g)",
+			ev.Makespan(), refMk, d, tol)
+	}
+	if d := relDiff(mx.MakespanOf(pos, make([]float64, mx.m)), refMk); d > tol {
+		return fmt.Errorf("objective: Matrix.MakespanOf %v diverges from reference %v (rel %.3g > tol %.3g)",
+			mx.MakespanOf(pos, make([]float64, mx.m)), refMk, d, tol)
+	}
+	if mx.cost != nil {
+		refCost := ReferenceCost(mx.cloudlets, mx.vms, pos)
+		if d := relDiff(ev.TotalCost(), refCost); d > tol {
+			return fmt.Errorf("objective: Evaluator cost %v diverges from reference %v (rel %.3g > tol %.3g)",
+				ev.TotalCost(), refCost, d, tol)
+		}
+		if d := relDiff(mx.CostOf(pos), refCost); d > tol {
+			return fmt.Errorf("objective: Matrix.CostOf %v diverges from reference %v (rel %.3g > tol %.3g)",
+				mx.CostOf(pos), refCost, d, tol)
+		}
+	}
+	return nil
+}

@@ -162,4 +162,8 @@ func allExhausted(groups []*vmGroup) bool {
 
 func init() {
 	sched.Register("rbs", func() sched.Scheduler { return Default() })
+	// RBS consumes one random walk-in draw per submitted cloudlet, so its
+	// placement — and hence makespan — depends on submission order even for
+	// identical cloudlets: not permutation-invariant.
+	sched.DeclareTraits("rbs", sched.Traits{Stochastic: true})
 }

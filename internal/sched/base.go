@@ -55,4 +55,6 @@ func (*Random) Schedule(ctx *Context) ([]Assignment, error) {
 func init() {
 	Register("base", func() Scheduler { return NewRoundRobin() })
 	Register("random", func() Scheduler { return NewRandom() })
+	DeclareTraits("base", Traits{PermutationInvariant: true})
+	DeclareTraits("random", Traits{Stochastic: true})
 }

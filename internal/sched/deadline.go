@@ -62,4 +62,7 @@ func (*Deadline) Schedule(ctx *Context) ([]Assignment, error) {
 
 func init() {
 	Register("deadline", func() Scheduler { return NewDeadline() })
+	// EDF over EFT: identical cloudlets make the sort a no-op (stable ties),
+	// leaving order-free earliest-finish placement.
+	DeclareTraits("deadline", Traits{PermutationInvariant: true})
 }

@@ -303,4 +303,11 @@ func init() {
 	Register("maxmin", func() Scheduler { return NewMaxMin() })
 	Register("sufferage", func() Scheduler { return NewSufferage() })
 	Register("costpriority", func() Scheduler { return NewCostPriority() })
+	// On identical cloudlets every candidate ties, so the list heuristics
+	// degenerate to load-state-driven placement independent of input order.
+	DeclareTraits("greedy", Traits{PermutationInvariant: true})
+	DeclareTraits("minmin", Traits{PermutationInvariant: true})
+	DeclareTraits("maxmin", Traits{PermutationInvariant: true})
+	DeclareTraits("sufferage", Traits{PermutationInvariant: true})
+	DeclareTraits("costpriority", Traits{PermutationInvariant: true})
 }

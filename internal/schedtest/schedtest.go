@@ -1,12 +1,15 @@
 // Package schedtest provides shared fixtures for scheduler tests: canned
 // heterogeneous and homogeneous environments mirroring the paper's Tables
-// III–VII, small enough for unit tests and property checks.
+// III–VII, small enough for unit tests and property checks. The fixtures
+// themselves live in internal/check (the property-testing harness checks
+// the same environments it hands to unit tests); this package wraps them
+// with the testing.TB error handling scheduler tests want.
 package schedtest
 
 import (
-	"math/rand"
 	"testing"
 
+	"bioschedsim/internal/check"
 	"bioschedsim/internal/cloud"
 	"bioschedsim/internal/sched"
 )
@@ -14,74 +17,27 @@ import (
 // Heterogeneous builds a two-datacenter context with nVMs VMs whose MIPS
 // are uniform in [500,4000] (Table V) and nCls cloudlets with lengths in
 // [1000,20000] (Table VI). Datacenter 0 carries Table VII's expensive end
-// of the price ranges, datacenter 1 the cheap end.
+// of the price ranges, datacenter 1 the cheap end. All randomness is drawn
+// from xrand streams of seed.
 func Heterogeneous(tb testing.TB, nVMs, nCls int, seed int64) *sched.Context {
 	tb.Helper()
-	mkHosts := func(base, n int) []*cloud.Host {
-		hosts := make([]*cloud.Host, n)
-		for i := range hosts {
-			hosts[i] = cloud.NewHost(base+i, cloud.NewPEs(16, 4000), 1<<20, 1<<20, 1<<30)
-		}
-		return hosts
-	}
-	nh := nVMs/8 + 1
-	dcs := []*cloud.Datacenter{
-		cloud.NewDatacenter(0, "pricey", cloud.Characteristics{
-			CostPerMemory: 0.05, CostPerStorage: 0.004, CostPerBandwidth: 0.05, CostPerProcessing: 3,
-		}, mkHosts(0, nh)),
-		cloud.NewDatacenter(1, "cheap", cloud.Characteristics{
-			CostPerMemory: 0.01, CostPerStorage: 0.001, CostPerBandwidth: 0.01, CostPerProcessing: 3,
-		}, mkHosts(nh, nh)),
-	}
-	r := rand.New(rand.NewSource(seed))
-	vms := make([]*cloud.VM, nVMs)
-	for i := range vms {
-		vms[i] = cloud.NewVM(i, 500+r.Float64()*3500, 1, 512, 500, 5000)
-	}
-	var hosts []*cloud.Host
-	for _, dc := range dcs {
-		hosts = append(hosts, dc.Hosts...)
-	}
-	if err := cloud.Allocate(cloud.LeastLoaded{}, hosts, vms); err != nil {
+	b, err := check.HeterogeneousFixture(nVMs, nCls, uint64(seed))
+	if err != nil {
 		tb.Fatal(err)
 	}
-	cls := make([]*cloud.Cloudlet, nCls)
-	for i := range cls {
-		cls[i] = cloud.NewCloudlet(i, 1000+r.Float64()*19000, 1, 300, 300)
-	}
-	return &sched.Context{
-		Cloudlets: cls, VMs: vms, Datacenters: dcs,
-		Rand: rand.New(rand.NewSource(seed + 1)),
-	}
+	return b.Ctx
 }
 
 // Homogeneous builds a single-datacenter context with identical VMs
-// (Table III) and identical cloudlets (Table IV).
+// (Table III) and identical cloudlets (Table IV), seeded through xrand
+// streams.
 func Homogeneous(tb testing.TB, nVMs, nCls int, seed int64) *sched.Context {
 	tb.Helper()
-	nh := nVMs/16 + 1
-	hosts := make([]*cloud.Host, nh)
-	for i := range hosts {
-		hosts[i] = cloud.NewHost(i, cloud.NewPEs(16, 1000), 1<<24, 1<<24, 1<<36)
-	}
-	dc := cloud.NewDatacenter(0, "dc", cloud.Characteristics{
-		CostPerMemory: 0.05, CostPerStorage: 0.004, CostPerBandwidth: 0.05, CostPerProcessing: 3,
-	}, hosts)
-	vms := make([]*cloud.VM, nVMs)
-	for i := range vms {
-		vms[i] = cloud.NewVM(i, 1000, 1, 512, 500, 5000)
-	}
-	if err := cloud.Allocate(cloud.FirstFit{}, hosts, vms); err != nil {
+	b, err := check.HomogeneousFixture(nVMs, nCls, uint64(seed))
+	if err != nil {
 		tb.Fatal(err)
 	}
-	cls := make([]*cloud.Cloudlet, nCls)
-	for i := range cls {
-		cls[i] = cloud.NewCloudlet(i, 250, 1, 300, 300)
-	}
-	return &sched.Context{
-		Cloudlets: cls, VMs: vms, Datacenters: []*cloud.Datacenter{dc},
-		Rand: rand.New(rand.NewSource(seed)),
-	}
+	return b.Ctx
 }
 
 // TotalCost sums ProcessingCost over an assignment without executing it.

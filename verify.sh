@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Repo verification gate: build, vet, repo-specific static analysis
-# (schedlint), full test suite, a full-module race pass (the parallel
-# population evaluator, the experiment runner, and the scheduling daemon's
+# (schedlint), full test suite with coverage floors on the objective and
+# scheduling layers, the property-checking campaign (schedcheck) over every
+# registered scheduler, a full-module race pass (the parallel population
+# evaluator, the experiment runner, and the scheduling daemon's
 # submit->flush->execute pipeline all exercise real concurrency), and a
 # short fuzz smoke over the two untrusted-input boundaries (the daemon's
 # JSON submit decoder and the workload trace parser).
@@ -10,7 +12,30 @@ set -eux
 go build ./...
 go vet ./...
 go run ./cmd/schedlint ./...
-go test ./...
+
+# Full suite with coverage. The run's own per-package summary feeds the
+# floors below; coverage.out is uploaded as a CI artifact. (Redirect rather
+# than tee: plain sh has no pipefail, and a pipe would mask test failures.)
+go test -coverprofile=coverage.out ./... > coverage.txt 2>&1 || { cat coverage.txt; exit 1; }
+cat coverage.txt
+
+# Per-package coverage floors where the paper's equations live
+# (internal/objective, internal/sched); every other package is report-only.
+awk '
+  $1 == "ok" {
+    cov = -1
+    for (i = 3; i <= NF; i++) if ($i ~ /^[0-9.]+%$/) cov = substr($i, 1, length($i) - 1) + 0
+    if (cov < 0) next
+    if ($2 == "bioschedsim/internal/objective" && cov < 85) { printf "coverage floor: %s at %.1f%% (< 85%%)\n", $2, cov; bad = 1 }
+    if ($2 == "bioschedsim/internal/sched" && cov < 80) { printf "coverage floor: %s at %.1f%% (< 80%%)\n", $2, cov; bad = 1 }
+  }
+  END { exit bad }
+' coverage.txt
+
+# Property-checking campaign: every registered scheduler against randomized
+# scenarios and the shared invariant suite (CI budget).
+go run ./cmd/schedcheck -quick
+
 go test -race ./...
 go test -run='^$' -fuzz=FuzzDecodeSubmit -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/workload
