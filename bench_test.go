@@ -29,10 +29,12 @@ import (
 // paperAlgorithms is the comparison set of the paper's figures.
 var paperAlgorithms = []string{"aco", "base", "hbo", "rbs"}
 
-// scheduleOnly benches just the mapping decision (Figs. 5, 6b).
+// scheduleOnly benches just the mapping decision (Figs. 5, 6b). The
+// -workers flag (see bench_parallel_test.go) bounds the kernel pool of
+// WorkerTunable schedulers; results are bit-identical at every setting.
 func scheduleOnly(b *testing.B, scenario *workload.Scenario, name string) {
 	b.Helper()
-	scheduler, err := sched.New(name)
+	scheduler, err := sched.New(name, sched.WithWorkers(*benchWorkers))
 	if err != nil {
 		b.Fatal(err)
 	}

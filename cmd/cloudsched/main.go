@@ -261,15 +261,16 @@ func cmdRun(args []string) error {
 	dcs := fs.Int("dcs", 4, "datacenters (heterogeneous only)")
 	algs := fs.String("algs", "aco,base,hbo,rbs", "schedulers to compare")
 	seed := fs.Uint64("seed", 42, "root random seed")
+	workers := fs.Int("workers", 0, "kernel pool for WorkerTunable schedulers (0 = GOMAXPROCS, 1 = serial); assignments are identical at every setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	names := strings.Split(*algs, ",")
-	fmt.Printf("# scenario=%s vms=%d cloudlets=%d seed=%d\n", *scenario, *vms, *cloudlets, *seed)
+	fmt.Printf("# scenario=%s vms=%d cloudlets=%d seed=%d workers=%d\n", *scenario, *vms, *cloudlets, *seed, *workers)
 	fmt.Printf("%-12s %14s %14s %12s %12s %14s %10s\n",
 		"algorithm", "sched-time", "sim-time(ms)", "imbalance", "count-imb", "cost", "fairness")
 	for _, name := range names {
-		scheduler, err := sched.New(strings.TrimSpace(name))
+		scheduler, err := sched.New(strings.TrimSpace(name), sched.WithWorkers(*workers))
 		if err != nil {
 			return err
 		}

@@ -70,6 +70,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.DurationVar(&opt.svc.FlushInterval, "flush", service.DefaultFlushInterval, "flush a partial batch after this long")
 	fs.IntVar(&opt.svc.QueueCap, "queue", service.DefaultQueueCap, "admission queue bound (429 beyond it)")
 	fs.IntVar(&opt.svc.Workers, "workers", service.DefaultWorkers, "batch-mapping worker pool size")
+	fs.IntVar(&opt.svc.SchedWorkers, "sched-workers", service.DefaultSchedWorkers, "kernel pool per mapper for WorkerTunable schedulers (1 = serial; widening oversubscribes unless -workers shrinks)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}

@@ -32,6 +32,12 @@
 // mathematically identical to the direct form (individual draws may differ
 // in the last float ulp).
 //
+// Tour construction is the hot path and fans out over Config.Workers: each
+// ant owns the xrand child stream indexed by (iteration, ant) and writes
+// only its own chunk of the combined tour, so assignments are bit-identical
+// for every worker count at a fixed seed. The pheromone update — which
+// couples ants — stays serial in ant order after the join.
+//
 // With Table II's α=0.01, β=0.99 the search is heavily heuristic-driven:
 // ACO chases computation speed, which is exactly the behaviour the paper
 // reports (best simulation time, worst load imbalance, longest scheduling
@@ -41,9 +47,12 @@ package aco
 import (
 	"fmt"
 	"math"
+	"math/rand"
+	"sync"
 
 	"bioschedsim/internal/objective"
 	"bioschedsim/internal/sched"
+	"bioschedsim/internal/xrand"
 )
 
 // Config holds the ACO parameters. Defaults reproduce the paper's Table II.
@@ -62,6 +71,12 @@ type Config struct {
 	// only way to run its extreme sizes (1 000 000 cloudlets × 100 000 VMs
 	// would need a 10¹¹-cell matrix).
 	MaxMatrixCells int64
+	// Workers bounds the per-iteration ant-construction pool: 0 means
+	// GOMAXPROCS, 1 forces serial. Tours are bit-identical for every worker
+	// count — each ant owns the xrand child stream indexed by
+	// (iteration, ant), and pheromone deposits are applied serially in ant
+	// order after the join.
+	Workers int
 }
 
 // DefaultConfig returns Table II's parameters with 20 iterations and τ(0)=1.
@@ -90,6 +105,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("aco: Alpha and Beta must be non-negative, got %v/%v", c.Alpha, c.Beta)
 	case c.MaxMatrixCells <= 0:
 		return fmt.Errorf("aco: MaxMatrixCells must be positive, got %d", c.MaxMatrixCells)
+	case c.Workers < 0:
+		return fmt.Errorf("aco: Workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -137,6 +154,10 @@ func Default() *Scheduler { return New(DefaultConfig()) }
 // Config returns the scheduler's effective configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
 
+// SetWorkers implements sched.WorkerTunable: it bounds the ant-construction
+// pool (0 = GOMAXPROCS, 1 = serial) without changing any tour.
+func (s *Scheduler) SetWorkers(workers int) { s.cfg.Workers = workers }
+
 // Name implements sched.Scheduler.
 func (*Scheduler) Name() string { return "aco" }
 
@@ -165,6 +186,11 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 // after ~650 iterations, so renormalization is essentially free.
 const renormThreshold = 1e-120
 
+// minParallelCells is the n·m size below which the ant-construction pool
+// stays serial. Each roulette candidate costs a multiply and an add, so the
+// break-even point sits well below PopEvaluator's per-individual one.
+const minParallelCells = 1 << 12
+
 // run carries the per-call search state. Execution estimates live in a
 // shared objective.Matrix (compressed per VM class); pheromone has two
 // layouts:
@@ -182,16 +208,16 @@ const renormThreshold = 1e-120
 // touches only g, deposits touch only the cells of the deposited tours, and
 // picks read the cached b^α without any math.Pow.
 type run struct {
-	cfg   Config
-	ctx   *sched.Context
-	n     int // cloudlets
-	m     int // VMs
-	dense bool
+	cfg     Config
+	ctx     *sched.Context
+	n       int // cloudlets
+	m       int // VMs
+	workers int // effective construction pool size (≥ 1)
+	dense   bool
 
-	mx   *objective.Matrix    // shared Eq. 6 cache
-	eval *objective.Evaluator // incremental Eq. 8 scorer for ant tours
-	k    int                  // VM class count
-	cls  []int32              // VM → class index
+	mx  *objective.Matrix // shared Eq. 6 cache
+	k   int               // VM class count
+	cls []int32           // VM → class index
 
 	// etaCls caches η_ij^β per (cloudlet, class) when the execution matrix is
 	// materialized; nil means compute on demand (memory-bounded fallback).
@@ -203,12 +229,35 @@ type run struct {
 	bVM      []float64 // vector: base pheromone per VM
 	bVMAlpha []float64 // vector: cached b^α, refreshed once per iteration
 
-	tour    []int     // scratch: current combined assignment (cloudlet → VM index)
-	tabu    []bool    // scratch: per-ant visited set
-	weights []float64 // scratch: roulette weights
+	// tour is the current combined assignment (cloudlet → VM index). Ants
+	// write disjoint chunks of it, so the parallel construction phase shares
+	// it without synchronization.
+	tour []int
+	// scratch pools per-worker antScratch values so a parallel iteration
+	// never shares tabu lists, roulette weights, or evaluators across
+	// goroutines.
+	scratch sync.Pool
 
 	bestTour []int
 	bestLen  float64
+}
+
+// antScratch is one worker's private construction state.
+type antScratch struct {
+	tabu    []bool
+	weights []float64
+	eval    *objective.Evaluator // incremental Eq. 8 scorer for ant tours
+}
+
+func (r *run) getScratch() *antScratch {
+	if sc, ok := r.scratch.Get().(*antScratch); ok {
+		return sc
+	}
+	return &antScratch{
+		tabu:    make([]bool, r.m),
+		weights: make([]float64, r.m),
+		eval:    objective.NewEvaluator(r.mx, false),
+	}
 }
 
 func newRun(cfg Config, ctx *sched.Context) *run {
@@ -218,35 +267,41 @@ func newRun(cfg Config, ctx *sched.Context) *run {
 		bestLen: math.Inf(1),
 		g:       1,
 	}
-	r.mx = objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{MaxCells: cfg.MaxMatrixCells})
-	r.eval = objective.NewEvaluator(r.mx, false)
+	// The construction pool: one worker below the dispatch break-even point,
+	// otherwise the configured bound. Results never depend on the choice.
+	r.workers = objective.EffectiveWorkers(cfg.Workers, int64(r.n)*int64(r.m), minParallelCells)
+	r.mx = objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{MaxCells: cfg.MaxMatrixCells, Workers: cfg.Workers})
 	r.k = r.mx.K()
 	r.cls = make([]int32, r.m)
 	for j := 0; j < r.m; j++ {
 		r.cls[j] = int32(r.mx.Class(j))
 	}
 	if r.mx.Cached() {
+		// η^β rows are independent; math.Pow per cell is exactly the kind of
+		// work that fans out cleanly.
 		r.etaCls = make([]float64, r.n*r.k)
-		for i := 0; i < r.n; i++ {
+		objective.ParallelFor(r.workers, r.n, func(i int) {
 			row := r.etaCls[i*r.k : (i+1)*r.k]
 			for cl := range row {
 				row[cl] = etaPow(r.mx.ExecByClass(i, cl), cfg.Beta)
 			}
-		}
+		})
 	}
 	r.tour = make([]int, r.n)
-	r.tabu = make([]bool, r.m)
-	r.weights = make([]float64, r.m)
 
 	r.dense = int64(r.n)*int64(r.m) <= cfg.MaxMatrixCells
 	ba0 := math.Pow(cfg.InitialTau, cfg.Alpha)
 	if r.dense {
 		r.b = make([]float64, r.n*r.m)
 		r.bAlpha = make([]float64, r.n*r.m)
-		for idx := range r.b {
-			r.b[idx] = cfg.InitialTau
-			r.bAlpha[idx] = ba0
-		}
+		objective.ParallelFor(r.workers, r.n, func(i int) {
+			row := r.b[i*r.m : (i+1)*r.m]
+			rowA := r.bAlpha[i*r.m : (i+1)*r.m]
+			for idx := range row {
+				row[idx] = cfg.InitialTau
+				rowA[idx] = ba0
+			}
+		})
 	} else {
 		r.bVM = make([]float64, r.m)
 		r.bVMAlpha = make([]float64, r.m)
@@ -282,6 +337,13 @@ func (r *run) eta(i, j int) float64 {
 // chunk per ant, each ant walks VMs for its own chunk under its own tabu
 // list, and the union of all ants' picks is the iteration's solution. The
 // best iteration (by Eq. 8 makespan over the union) is returned.
+//
+// Ants within an iteration are independent — ant k writes only tour[lo:hi)
+// of its own chunk and tourLens[k], and draws from its own xrand child
+// stream — so construction fans out across the worker pool. Everything that
+// couples ants (iteration-best selection, evaporation, deposits in ant
+// order, the elitist bonus) runs serially after the join, which is what
+// keeps tours bit-identical for every worker count.
 func (r *run) search() []int {
 	ants := r.cfg.Ants
 	if ants > r.n {
@@ -293,10 +355,19 @@ func (r *run) search() []int {
 	}
 	tourLens := make([]float64, ants)
 	busy := make([]float64, r.m)
+	// One draw off the caller's stream seeds the whole search; ant k of
+	// iteration it then owns child stream it·ants+k, so its randomness
+	// depends only on (seed, iteration, ant) — never on worker interleaving.
+	seed := r.ctx.Rand.Uint64()
 	for it := 0; it < r.cfg.Iterations; it++ {
+		base := uint64(it) * uint64(ants)
+		objective.ParallelFor(r.workers, ants, func(k int) {
+			sc := r.getScratch()
+			tourLens[k] = r.construct(chunks[k][0], chunks[k][1], xrand.New(seed, base+uint64(k)), sc)
+			r.scratch.Put(sc)
+		})
 		iterBest := 0
-		for k := 0; k < ants; k++ {
-			tourLens[k] = r.construct(chunks[k][0], chunks[k][1])
+		for k := 1; k < ants; k++ {
 			if tourLens[k] < tourLens[iterBest] {
 				iterBest = k
 			}
@@ -326,12 +397,12 @@ func (r *run) search() []int {
 
 // construct builds one ant's tour for cloudlets [lo,hi) into r.tour[lo:hi]
 // and returns its quality L_k per Eq. 8: the maximum over VMs of the summed
-// expected execution times the ant routed to that VM. The incremental
+// expected execution times the ant routed to that VM. rnd is the ant's own
+// child stream and sc its worker-private scratch; the incremental
 // evaluator's epoch reset keeps scoring proportional to the chunk, not the
 // fleet.
-func (r *run) construct(lo, hi int) float64 {
-	rnd := r.ctx.Rand
-	tabu := r.tabu
+func (r *run) construct(lo, hi int, rnd *rand.Rand, sc *antScratch) float64 {
+	tabu := sc.tabu
 	for v := range tabu {
 		tabu[v] = false
 	}
@@ -348,10 +419,10 @@ func (r *run) construct(lo, hi int) float64 {
 		}
 		return sum
 	}
-	e := r.eval
+	e := sc.eval
 	e.Reset()
 	for i := lo; i < hi; i++ {
-		j := r.pick(i, tabu, r.weights, rnd)
+		j := r.pick(i, tabu, sc.weights, rnd)
 		r.tour[i] = j
 		e.Assign(i, j)
 		tabu[j] = true
@@ -478,7 +549,7 @@ func (r *run) depositChunk(lo, hi int, delta float64) {
 
 func init() {
 	sched.Register("aco", func() sched.Scheduler { return Default() })
-	sched.DeclareTraits("aco", sched.Traits{Stochastic: true})
+	sched.DeclareTraits("aco", sched.Traits{Stochastic: true, Parallel: true})
 }
 
 // TourLength exposes the internal tour-quality function (Eq. 8) for tests

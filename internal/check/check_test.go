@@ -69,6 +69,44 @@ func (acceptsEmpty) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 	return out, nil
 }
 
+// brokenParallel shifts every placement by one VM whenever more than one
+// worker is configured: a worker-invariance violation on any fleet with at
+// least two VMs — the shape of a kernel whose fan-out leaks into results.
+type brokenParallel struct{ workers int }
+
+func (b *brokenParallel) Name() string           { return "testbroken-parallel" }
+func (b *brokenParallel) SetWorkers(workers int) { b.workers = workers }
+func (b *brokenParallel) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	off := 0
+	if b.workers > 1 {
+		off = 1
+	}
+	out := make([]sched.Assignment, len(ctx.Cloudlets))
+	for i, c := range ctx.Cloudlets {
+		out[i] = sched.Assignment{Cloudlet: c, VM: ctx.VMs[(i+off)%len(ctx.VMs)]}
+	}
+	return out, nil
+}
+
+// untunable declares Traits.Parallel without implementing
+// sched.WorkerTunable: a misdeclared capability the suite must flag.
+type untunable struct{}
+
+func (untunable) Name() string { return "testbroken-untunable" }
+func (untunable) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]sched.Assignment, len(ctx.Cloudlets))
+	for i, c := range ctx.Cloudlets {
+		out[i] = sched.Assignment{Cloudlet: c, VM: ctx.VMs[i%len(ctx.VMs)]}
+	}
+	return out, nil
+}
+
 var flakyInstance = &flaky{}
 
 func init() {
@@ -77,6 +115,10 @@ func init() {
 	// a scheduler with hidden global state would behave.
 	sched.Register("testbroken-flaky", func() sched.Scheduler { return flakyInstance })
 	sched.Register("testbroken-empty", func() sched.Scheduler { return acceptsEmpty{} })
+	sched.Register("testbroken-parallel", func() sched.Scheduler { return &brokenParallel{} })
+	sched.DeclareTraits("testbroken-parallel", sched.Traits{Parallel: true})
+	sched.Register("testbroken-untunable", func() sched.Scheduler { return untunable{} })
+	sched.DeclareTraits("testbroken-untunable", sched.Traits{Parallel: true})
 }
 
 // realSchedulers is the production registry minus the broken test plants.
@@ -248,6 +290,59 @@ func TestSeededConservationViolationIsCaughtShrunkAndReplayable(t *testing.T) {
 	}
 	if v.Invariant != InvConservation {
 		t.Fatalf("replay reproduced %q, want %q", v.Invariant, InvConservation)
+	}
+}
+
+// TestSeededWorkerInvarianceViolationIsCaughtShrunkAndReplayable is the
+// acceptance check for the worker-invariance suite: a scheduler whose
+// results change with the worker count must be caught — even on a
+// single-core runner, because workers=2 is always exercised — shrunk to a
+// minimal scenario, and reproducible through its replay command.
+func TestSeededWorkerInvarianceViolationIsCaughtShrunkAndReplayable(t *testing.T) {
+	cfg := Quick()
+	cfg.Schedulers = []string{"testbroken-parallel"}
+	cfg.Classes = []string{ClassHeterogeneous}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("worker-dependent scheduler passed the campaign")
+	}
+	f := res.Failures[0]
+	if f.Invariant != InvWorkerInvariance {
+		t.Fatalf("caught invariant %q, want %q (%s)", f.Invariant, InvWorkerInvariance, f.Err)
+	}
+	if !strings.Contains(f.Err, "workers=") {
+		t.Fatalf("unexpected violation message: %s", f.Err)
+	}
+	// Minimal failing shape: one cloudlet on a multi-VM fleet (with a single
+	// VM the off-by-one cannot show; halving stops at 2 or 3 VMs depending
+	// on the generated fleet size's halving path).
+	if f.Shrunk.Cloudlets != 1 || f.Shrunk.VMs < 2 || f.Shrunk.VMs > 3 {
+		t.Fatalf("shrunk scenario not minimal: %v", f.Shrunk)
+	}
+	if want := f.Shrunk.ReplayCommand("testbroken-parallel"); f.Replay != want {
+		t.Fatalf("replay command %q, want %q", f.Replay, want)
+	}
+	// And replaying the shrunk scenario reproduces the violation.
+	v := CheckScenario("testbroken-parallel", f.Shrunk)
+	if v == nil || v.Invariant != InvWorkerInvariance {
+		t.Fatalf("replaying the shrunk scenario did not reproduce the violation: %v", v)
+	}
+}
+
+func TestParallelDeclarationWithoutKnobIsCaught(t *testing.T) {
+	sc, err := Generate(ClassHomogeneous, 11, 8, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := CheckScenario("testbroken-untunable", sc)
+	if v == nil || v.Invariant != InvWorkerInvariance {
+		t.Fatalf("misdeclared Parallel trait not caught: %v", v)
+	}
+	if !strings.Contains(v.Err.Error(), "WorkerTunable") {
+		t.Fatalf("unexpected violation message: %v", v.Err)
 	}
 }
 

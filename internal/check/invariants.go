@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"bioschedsim/internal/cloud"
 	"bioschedsim/internal/metrics"
@@ -20,15 +21,16 @@ const OracleTol = 1e-9
 
 // Invariant names, stable API for reports and suppression triage.
 const (
-	InvConservation = "conservation"
-	InvDeterminism  = "determinism"
-	InvPermutation  = "permutation"
-	InvOracle       = "oracle"
-	InvEq12         = "eq12"
-	InvEq13         = "eq13"
-	InvRejectEmpty  = "reject-empty"
-	InvSchedule     = "schedule" // scheduler errored or panicked on a valid scenario
-	InvBuild        = "build"    // the harness could not materialize the scenario
+	InvConservation     = "conservation"
+	InvDeterminism      = "determinism"
+	InvPermutation      = "permutation"
+	InvWorkerInvariance = "worker-invariance"
+	InvOracle           = "oracle"
+	InvEq12             = "eq12"
+	InvEq13             = "eq13"
+	InvRejectEmpty      = "reject-empty"
+	InvSchedule         = "schedule" // scheduler errored or panicked on a valid scenario
+	InvBuild            = "build"    // the harness could not materialize the scenario
 )
 
 // Violation is one invariant breach for one (scheduler, scenario) pair.
@@ -122,6 +124,9 @@ func CheckScenario(scheduler string, sc Scenario) *Violation {
 	if v := checkDeterminism(scheduler, sc, pos); v != nil {
 		return v
 	}
+	if v := checkWorkerInvariance(scheduler, sc, pos); v != nil {
+		return v
+	}
 	if v := checkPermutation(scheduler, sc, b, as); v != nil {
 		return v
 	}
@@ -157,6 +162,55 @@ func checkDeterminism(scheduler string, sc Scenario, pos []int) *Violation {
 		if pos[i] != pos2[i] {
 			return violationf(InvDeterminism,
 				"same seed produced different assignments: cloudlet %d went to VM %d, then VM %d", i, pos[i], pos2[i])
+		}
+	}
+	return nil
+}
+
+// checkWorkerInvariance holds schedulers declaring Traits.Parallel to the
+// Workers contract: the same seeded scenario re-run at workers ∈ {1, 2,
+// GOMAXPROCS} must produce assignments identical to the default-config
+// baseline. Worker count 2 is always exercised so real fan-out divergence is
+// caught even on a single-core runner.
+func checkWorkerInvariance(scheduler string, sc Scenario, want []int) *Violation {
+	tr, ok := sched.TraitsOf(scheduler)
+	if !ok || !tr.Parallel {
+		return nil
+	}
+	counts := []int{1, 2}
+	if p := runtime.GOMAXPROCS(0); p > 2 {
+		counts = append(counts, p)
+	}
+	for _, w := range counts {
+		s, err := sched.New(scheduler, sched.WithWorkers(w))
+		if err != nil {
+			return violationf(InvBuild, "%v", err)
+		}
+		if _, tunable := s.(sched.WorkerTunable); !tunable {
+			return violationf(InvWorkerInvariance,
+				"%s declares Traits.Parallel but does not implement sched.WorkerTunable", scheduler)
+		}
+		bw, err := sc.Build()
+		if err != nil {
+			return violationf(InvBuild, "rebuilding %v: %v", sc, err)
+		}
+		as, err := safeSchedule(s, bw.Ctx)
+		if err != nil {
+			return violationf(InvWorkerInvariance, "%s failed at workers=%d: %v", scheduler, w, err)
+		}
+		if err := sched.ValidateAssignments(bw.Ctx, as); err != nil {
+			return violationf(InvWorkerInvariance, "workers=%d produced invalid assignments: %v", w, err)
+		}
+		pos, err := posVector(bw.Ctx, as)
+		if err != nil {
+			return violationf(InvWorkerInvariance, "%v", err)
+		}
+		for i := range want {
+			if pos[i] != want[i] {
+				return violationf(InvWorkerInvariance,
+					"%s diverged at workers=%d: cloudlet %d went to VM %d, baseline chose VM %d",
+					scheduler, w, i, pos[i], want[i])
+			}
 		}
 	}
 	return nil

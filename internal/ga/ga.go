@@ -88,6 +88,10 @@ func Default() *Scheduler { return New(DefaultConfig()) }
 // Config returns the effective configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
 
+// SetWorkers implements sched.WorkerTunable: it bounds the fitness pool
+// (0 = GOMAXPROCS, 1 = serial) without changing any chromosome.
+func (s *Scheduler) SetWorkers(workers int) { s.cfg.Workers = workers }
+
 // Name implements sched.Scheduler.
 func (*Scheduler) Name() string { return "ga" }
 
@@ -111,7 +115,7 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 	// (which consumes none) after, leaving the rand sequence — and therefore
 	// the result — unchanged relative to interleaved per-child evaluation
 	// while letting the batch fan out across workers.
-	mx := objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{})
+	mx := objective.NewMatrix(ctx.Cloudlets, ctx.VMs, objective.Options{Workers: s.cfg.Workers})
 	pe := objective.NewPopEvaluator(mx, objective.Makespan, s.cfg.Workers)
 	batch := make([][]int, 0, s.cfg.Population)
 	vals := make([]float64, s.cfg.Population)
@@ -205,5 +209,5 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 
 func init() {
 	sched.Register("ga", func() sched.Scheduler { return Default() })
-	sched.DeclareTraits("ga", sched.Traits{Stochastic: true})
+	sched.DeclareTraits("ga", sched.Traits{Stochastic: true, Parallel: true})
 }

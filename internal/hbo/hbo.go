@@ -47,6 +47,12 @@ type Config struct {
 	// ranking — a deliberately loose bound, matching the paper's note that
 	// the balancing factor's effect on HBO's decisions "is minimal" (§VI-D2).
 	FacLB float64
+	// Workers bounds the pool used for the parallel precompute phases (the
+	// per-group forage-order sorts and, on compressible fleets, the Eq. 6
+	// class matrix): 0 means GOMAXPROCS, 1 forces serial. The scout loop's
+	// placements are bit-identical for every worker count — the precompute
+	// only changes when estimates are computed, never their values.
+	Workers int
 }
 
 // DefaultConfig returns two groups and fair-share load balancing.
@@ -59,6 +65,9 @@ func (c Config) Validate() error {
 	}
 	if c.FacLB < 0 {
 		return fmt.Errorf("hbo: FacLB must be non-negative, got %v", c.FacLB)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("hbo: Workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -82,13 +91,26 @@ func Default() *Scheduler { return New(DefaultConfig()) }
 // Config returns the scheduler's effective configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
 
+// SetWorkers implements sched.WorkerTunable: it bounds the precompute pool
+// (0 = GOMAXPROCS, 1 = serial) without changing any placement.
+func (s *Scheduler) SetWorkers(workers int) { s.cfg.Workers = workers }
+
 // Name implements sched.Scheduler.
 func (*Scheduler) Name() string { return "hbo" }
+
+// maxPrecomputeClasses caps the parallel forage precompute: materializing
+// the class matrix costs n×K estimates where the on-demand scout loop
+// computes exactly n, so it only pays off when the fleet compresses to a
+// handful of exec-equivalence classes (K=1 for the paper's homogeneous
+// scenario). Beyond the cap the serial single-pass form stays cheaper even
+// against a full worker pool.
+const maxPrecomputeClasses = 8
 
 // dcState is a foraging bee's view of one datacenter.
 type dcState struct {
 	dc       *cloud.Datacenter
 	vms      []*cloud.VM
+	idx      []int32 // global indices into ctx.VMs, parallel to vms
 	costRate float64 // mean Eq. 1 resource rate across the DC's VMs
 	assigned int     // cloudlets routed here so far
 	// vmLoad books estimated busy seconds per VM so Algorithm 1's
@@ -121,34 +143,49 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 		}
 	}
 
-	groups := divide(ctx.Cloudlets, s.cfg.Groups)
+	cls := ctx.Cloudlets
+	n := len(cls)
+	workers := objective.EffectiveWorkers(s.cfg.Workers, int64(n), 0)
+
+	groups := divide(n, s.cfg.Groups)
 	// Algorithm 1 processes the largest food source first, and within a
 	// group repeatedly extracts the longest cloudlet (line 6's
 	// CloudLetL ← max(Groups_k)), so expensive work books first — both the
 	// cost savings (long work lands on cheap datacenters) and the LPT-style
-	// makespan quality of HBO flow from this order.
+	// makespan quality of HBO flow from this order. The per-group extraction
+	// orders are independent, so the q stable sorts run on the worker pool;
+	// each produces exactly the permutation it would serially.
 	sort.SliceStable(groups, func(i, j int) bool { return len(groups[i]) > len(groups[j]) })
-	for _, g := range groups {
-		sort.SliceStable(g, func(i, j int) bool { return g[i].Length > g[j].Length })
+	objective.ParallelFor(workers, len(groups), func(gi int) {
+		g := groups[gi]
+		sort.SliceStable(g, func(a, b int) bool { return cls[g[a]].Length > cls[g[b]].Length })
+	})
+
+	// Forager estimates: the serial scout loop reads each (cloudlet, chosen
+	// VM) estimate exactly once, so by default the shared layer's on-demand
+	// form beats materializing. With a worker pool and a compressible fleet
+	// the n×K class matrix is instead batch-built in parallel up front and
+	// the loop reads cached cells. Matrix.Exec is bit-identical to ExecTime
+	// in every mode, so the cutover never changes a placement.
+	mx := objective.NewMatrix(cls, ctx.VMs, objective.Options{Mode: objective.OnDemand})
+	if workers > 1 && mx.K() <= maxPrecomputeClasses {
+		mx = objective.NewMatrix(cls, ctx.VMs, objective.Options{Mode: objective.Materialized, Workers: s.cfg.Workers})
 	}
 
-	chosen := make(map[*cloud.Cloudlet]*cloud.VM, len(ctx.Cloudlets))
+	chosen := make([]int32, n) // cloudlet index → global VM index
 	for _, group := range groups {
-		for _, c := range group {
-			st := chooseDatacenter(states, c, facLB)
+		for _, ci := range group {
+			st := chooseDatacenter(states, cls[ci], facLB)
 			vi := leastLoadedVM(st)
-			vm := st.vms[vi]
-			// Single-pass: each (cloudlet, VM) estimate is read exactly once,
-			// so the shared layer's on-demand form beats materializing.
-			st.vmLoad[vi] += objective.ExecTime(c, vm)
+			st.vmLoad[vi] += mx.Exec(int(ci), int(st.idx[vi]))
 			st.assigned++
-			chosen[c] = vm
+			chosen[ci] = st.idx[vi]
 		}
 	}
 	// Emit in submission order so broker records align with inputs.
-	out := make([]sched.Assignment, len(ctx.Cloudlets))
-	for i, c := range ctx.Cloudlets {
-		out[i] = sched.Assignment{Cloudlet: c, VM: chosen[c]}
+	out := make([]sched.Assignment, n)
+	for i, c := range cls {
+		out[i] = sched.Assignment{Cloudlet: c, VM: ctx.VMs[chosen[i]]}
 	}
 	return out, nil
 }
@@ -157,36 +194,37 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 // context has no datacenter information (or VMs are unplaced), the whole
 // fleet is treated as a single anonymous datacenter so HBO still functions.
 func buildStates(ctx *sched.Context) ([]*dcState, error) {
-	byDC := map[*cloud.Datacenter][]*cloud.VM{}
-	var anonymous []*cloud.VM
-	for _, vm := range ctx.VMs {
+	byDC := map[*cloud.Datacenter][]int32{}
+	var anonymous []int32
+	for j, vm := range ctx.VMs {
 		if dc := vm.Datacenter(); dc != nil {
-			byDC[dc] = append(byDC[dc], vm)
+			byDC[dc] = append(byDC[dc], int32(j))
 		} else {
-			anonymous = append(anonymous, vm)
+			anonymous = append(anonymous, int32(j))
 		}
 	}
 	var states []*dcState
-	add := func(dc *cloud.Datacenter, vms []*cloud.VM) {
-		st := &dcState{dc: dc, vms: vms, vmLoad: make([]float64, len(vms))}
-		for _, vm := range vms {
-			st.costRate += cloud.ResourceCostRate(vm)
+	add := func(dc *cloud.Datacenter, idx []int32) {
+		st := &dcState{dc: dc, idx: idx, vms: make([]*cloud.VM, len(idx)), vmLoad: make([]float64, len(idx))}
+		for i, j := range idx {
+			st.vms[i] = ctx.VMs[j]
+			st.costRate += cloud.ResourceCostRate(st.vms[i])
 		}
-		st.costRate /= float64(len(vms))
+		st.costRate /= float64(len(idx))
 		states = append(states, st)
 	}
 	// Iterate ctx.Datacenters for deterministic order; fall back to the map
 	// only for datacenters reachable from VMs but absent from the context.
 	seen := map[*cloud.Datacenter]bool{}
 	for _, dc := range ctx.Datacenters {
-		if vms := byDC[dc]; len(vms) > 0 {
-			add(dc, vms)
+		if idx := byDC[dc]; len(idx) > 0 {
+			add(dc, idx)
 			seen[dc] = true
 		}
 	}
-	for dc, vms := range byDC {
+	for dc, idx := range byDC {
 		if !seen[dc] {
-			add(dc, vms)
+			add(dc, idx)
 		}
 	}
 	// The map iteration above is only non-deterministic when the caller
@@ -206,14 +244,15 @@ func buildStates(ctx *sched.Context) ([]*dcState, error) {
 	return states, nil
 }
 
-// divide splits cloudlets into q food-source groups of near-equal size.
-func divide(cloudlets []*cloud.Cloudlet, q int) [][]*cloud.Cloudlet {
-	if q > len(cloudlets) {
-		q = len(cloudlets)
+// divide splits the cloudlet indices [0, n) into q food-source groups of
+// near-equal size.
+func divide(n, q int) [][]int32 {
+	if q > n {
+		q = n
 	}
-	groups := make([][]*cloud.Cloudlet, q)
-	for i, c := range cloudlets {
-		groups[i%q] = append(groups[i%q], c)
+	groups := make([][]int32, q)
+	for i := 0; i < n; i++ {
+		groups[i%q] = append(groups[i%q], int32(i))
 	}
 	return groups
 }
@@ -262,6 +301,7 @@ func leastLoadedVM(st *dcState) int {
 func init() {
 	sched.Register("hbo", func() sched.Scheduler { return Default() })
 	// HBO is rule-driven (no ctx.Rand draws), but its forage ordering is
-	// submission-order-sensitive, so no permutation claim.
-	sched.DeclareTraits("hbo", sched.Traits{})
+	// submission-order-sensitive, so no permutation claim. Its precompute
+	// phases run on a worker pool that never changes a placement (Parallel).
+	sched.DeclareTraits("hbo", sched.Traits{Parallel: true})
 }

@@ -223,19 +223,21 @@ func TestDividePartitions(t *testing.T) {
 	for i := range cls {
 		cls[i] = cloud.NewCloudlet(i, 100, 1, 0, 0)
 	}
-	groups := divide(cls, 3)
+	groups := divide(len(cls), 3)
 	if len(groups) != 3 {
 		t.Fatalf("groups: %d", len(groups))
 	}
-	total := 0
+	seen := make(map[int32]bool)
 	for _, g := range groups {
-		total += len(g)
+		for _, ci := range g {
+			seen[ci] = true
+		}
 	}
-	if total != 10 {
-		t.Fatalf("partition lost cloudlets: %d", total)
+	if len(seen) != 10 {
+		t.Fatalf("partition lost cloudlets: %d", len(seen))
 	}
 	// More groups than cloudlets clamps.
-	if got := divide(cls[:2], 5); len(got) != 2 {
+	if got := divide(2, 5); len(got) != 2 {
 		t.Fatalf("clamp failed: %d groups", len(got))
 	}
 }

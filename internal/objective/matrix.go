@@ -59,6 +59,11 @@ const (
 // float64 per matrix), mirroring ACO's historical MaxMatrixCells default.
 const DefaultMaxCells = 64 << 20
 
+// minParallelCells is the materialized cell count below which row
+// construction stays serial: each cell is a handful of flops, so the
+// break-even point sits lower than PopEvaluator's per-individual one.
+const minParallelCells = 1 << 13
+
 // Options tunes Matrix construction.
 type Options struct {
 	// Mode selects the storage strategy; zero value is Auto.
@@ -70,6 +75,11 @@ type Options struct {
 	// (cloudlet, class). Cost() works either way; WithCost only decides
 	// whether it is precomputed.
 	WithCost bool
+	// Workers bounds the row-construction pool when the matrix is
+	// materialized: 0 means GOMAXPROCS, 1 forces serial. Each cloudlet's row
+	// is computed independently into its own slot, so cell values are
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // Matrix is the cached execution-estimate (and optionally cost) store for
@@ -114,7 +124,11 @@ func NewMatrix(cloudlets []*cloud.Cloudlet, vms []*cloud.VM, opts Options) *Matr
 	if withCost {
 		mx.cost = make([]float64, cells)
 	}
-	for i, c := range cloudlets {
+	// Rows are disjoint slices of the backing arrays, so they materialize in
+	// parallel without changing a single bit of any cell.
+	workers := EffectiveWorkers(opts.Workers, cells, minParallelCells)
+	ParallelFor(workers, mx.n, func(i int) {
+		c := cloudlets[i]
 		row := mx.exec[i*k : (i+1)*k]
 		for cl, rep := range mx.classes.Reps {
 			row[cl] = ExecTime(c, rep)
@@ -125,7 +139,7 @@ func NewMatrix(cloudlets []*cloud.Cloudlet, vms []*cloud.VM, opts Options) *Matr
 				crow[cl] = cloud.ProcessingCost(c, rep)
 			}
 		}
-	}
+	})
 	return mx
 }
 

@@ -25,6 +25,78 @@ func Makespan(mx *Matrix, pos []int, busy []float64) float64 {
 // small batches, and serial evaluation is trivially deterministic.
 const minParallelWork = 1 << 15
 
+// EffectiveWorkers resolves a Workers knob under the repository convention
+// (0 = GOMAXPROCS, 1 = serial) against the approximate scalar work of one
+// parallel section. Sections below minWork run serially — goroutine dispatch
+// costs more than it saves there, and the Workers determinism contract makes
+// the serial and parallel results identical anyway, so the cutover is
+// invisible. minWork ≤ 0 selects the package default break-even point.
+func EffectiveWorkers(workers int, work, minWork int64) int {
+	if minWork <= 0 {
+		minWork = minParallelWork
+	}
+	if work < minWork {
+		return 1
+	}
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ParallelFor runs fn(i) for every i in [0, items) across up to workers
+// goroutines (≤ 1 means serial; resolve 0-means-GOMAXPROCS through
+// EffectiveWorkers first) and returns after all iterations complete. It is
+// the shared fan-out primitive under the repository's Workers convention:
+// iterations must be independent — fn(i) may write only state owned by
+// iteration i — which is exactly what makes results bit-identical for every
+// worker count. Work is claimed off an atomic cursor in contiguous chunks,
+// so interleaving reorders the wall clock, never the outputs.
+func ParallelFor(workers, items int, fn func(i int)) {
+	if items <= 0 {
+		return
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers <= 1 {
+		for i := 0; i < items; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := items / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(chunk))) - chunk
+				if lo >= items {
+					return
+				}
+				hi := lo + chunk
+				if hi > items {
+					hi = items
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // PopEvaluator evaluates populations of assignment vectors on a bounded
 // worker pool with a hard determinism contract: for a fixed matrix, fitness
 // function, and population, the output fitness vector is byte-identical for

@@ -11,7 +11,11 @@
 // exhausted all NIDs reset, starting a new balancing round.
 //
 // RBS inspects neither VM speed nor price — only free slots — so its
-// scheduling decision is O(1) per cloudlet. That yields the paper's
+// scheduling decision is O(1) per cloudlet. The random draws behind each
+// decision are independent per cloudlet and precomputed on a worker pool
+// (Config.Workers); only the execution test's shared cursor/NID bookkeeping
+// is serial, so assignments are bit-identical for every worker count while
+// remaining submission-order dependent. That yields the paper's
 // profile: second-fastest scheduling time after the base test (Fig. 6b),
 // second-best load balance (Fig. 6c), and makespan close to the base test
 // with visible fluctuations caused by the random ω draws (Figs. 4a, 6a).
@@ -21,7 +25,9 @@ import (
 	"fmt"
 
 	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective"
 	"bioschedsim/internal/sched"
+	"bioschedsim/internal/xrand"
 )
 
 // Config holds the RBS parameters.
@@ -30,6 +36,11 @@ type Config struct {
 	// (Algorithm 3's q). Zero means the default of 2 (the paper's Figure 3
 	// illustration). Values larger than the fleet are clamped.
 	Groups int
+	// Workers bounds the pool that pre-draws each cloudlet's walk-in length
+	// and entry point: 0 means GOMAXPROCS, 1 forces serial. Every cloudlet
+	// owns its own xrand child stream, so the draws — and hence the
+	// assignments — are bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns the two-group configuration of the paper's Figure 3.
@@ -39,6 +50,9 @@ func DefaultConfig() Config { return Config{Groups: 2} }
 func (c Config) Validate() error {
 	if c.Groups < 0 {
 		return fmt.Errorf("rbs: Groups must be non-negative, got %d", c.Groups)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("rbs: Workers must be non-negative, got %d", c.Workers)
 	}
 	return nil
 }
@@ -61,6 +75,10 @@ func Default() *Scheduler { return New(DefaultConfig()) }
 
 // Config returns the scheduler's effective configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
+
+// SetWorkers implements sched.WorkerTunable: it bounds the draw-precompute
+// pool (0 = GOMAXPROCS, 1 = serial) without changing any assignment.
+func (s *Scheduler) SetWorkers(workers int) { s.cfg.Workers = workers }
 
 // Name implements sched.Scheduler.
 func (*Scheduler) Name() string { return "rbs" }
@@ -103,13 +121,34 @@ func (s *Scheduler) Schedule(ctx *sched.Context) ([]sched.Assignment, error) {
 		g.nid = len(g.vms) // step 2: NID = free VMs in the group
 	}
 
+	// Step 3's draws — the random walk-in length ω and the random entry
+	// point ("tasks come into the servers" at a random node, §V; the source
+	// of the RBS fluctuations in Figs. 4a and 6a) — are independent per
+	// cloudlet: one draw off ctx.Rand seeds the batch, and cloudlet i reads
+	// its pair from xrand child stream i. The fill therefore fans out across
+	// the worker pool while the execution test below — a serial state
+	// machine over the shared cursor/NID bookkeeping — consumes the draws in
+	// submission order. Assignments stay bit-identical for every worker
+	// count, yet still depend on submission order, exactly as declared in
+	// the traits.
+	n := len(ctx.Cloudlets)
+	seed := ctx.Rand.Uint64()
+	omegas := make([]int32, n)
+	starts := make([]int32, n)
+	workers := objective.EffectiveWorkers(s.cfg.Workers, int64(n), 0)
+	objective.ParallelFor(workers, n, func(i int) {
+		src := xrand.Stream(seed, uint64(i))
+		// Modulo instead of Intn: two raw draws per cloudlet keep the stream
+		// layout obvious, and the bias over small q is ~q/2⁶⁴ — far below
+		// any observable effect.
+		omegas[i] = int32(1 + src.Uint64()%uint64(q))
+		starts[i] = int32(src.Uint64() % uint64(q))
+	})
+
 	out := make([]sched.Assignment, len(ctx.Cloudlets))
 	for i, c := range ctx.Cloudlets {
-		omega := 1 + ctx.Rand.Intn(q) // step 3: random walk-in length
-		// Tasks "come into the servers" at a random node (§V): each walk
-		// starts at a random group. This random entry point is the source of
-		// the RBS fluctuations the paper reports in Figs. 4a and 6a.
-		walk := ctx.Rand.Intn(q)
+		omega := int(omegas[i]) // step 3: random walk-in length
+		walk := int(starts[i])
 		g := s.walkToGroup(groups, &walk, omega)
 		vm := g.vms[g.cursor%len(g.vms)] // step 6: cyclic within the group
 		g.cursor++
@@ -164,6 +203,7 @@ func init() {
 	sched.Register("rbs", func() sched.Scheduler { return Default() })
 	// RBS consumes one random walk-in draw per submitted cloudlet, so its
 	// placement — and hence makespan — depends on submission order even for
-	// identical cloudlets: not permutation-invariant.
-	sched.DeclareTraits("rbs", sched.Traits{Stochastic: true})
+	// identical cloudlets: not permutation-invariant. The draws themselves
+	// are precomputed on a worker pool (Parallel), which never changes them.
+	sched.DeclareTraits("rbs", sched.Traits{Stochastic: true, Parallel: true})
 }

@@ -1,0 +1,52 @@
+package sched
+
+import "testing"
+
+// tunableStub records the Workers value WithWorkers hands it.
+type tunableStub struct{ workers int }
+
+func (t *tunableStub) Name() string     { return "testopt-tunable" }
+func (t *tunableStub) SetWorkers(n int) { t.workers = n }
+func (t *tunableStub) Schedule(ctx *Context) ([]Assignment, error) {
+	return nil, nil
+}
+
+func init() {
+	Register("testopt-tunable", func() Scheduler { return &tunableStub{workers: -1} })
+}
+
+func TestNewAppliesWithWorkersToTunableSchedulers(t *testing.T) {
+	s, err := New("testopt-tunable", WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.(*tunableStub).workers; got != 4 {
+		t.Fatalf("SetWorkers saw %d, want 4", got)
+	}
+	// Without the option the factory value must survive untouched.
+	s, err = New("testopt-tunable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.(*tunableStub).workers; got != -1 {
+		t.Fatalf("option-free New mutated workers to %d", got)
+	}
+}
+
+func TestWithWorkersIsIgnoredByNonTunableSchedulers(t *testing.T) {
+	// base has no Workers knob; the option must be a silent no-op so callers
+	// can apply it unconditionally across the registry.
+	s, err := New("base", WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(WorkerTunable); ok {
+		t.Fatal("base unexpectedly implements WorkerTunable; test premise broken")
+	}
+}
+
+func TestUnknownSchedulerStillErrorsWithOptions(t *testing.T) {
+	if _, err := New("nosuch-scheduler", WithWorkers(2)); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}

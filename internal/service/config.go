@@ -27,6 +27,7 @@ const (
 	DefaultFlushInterval   = 50 * time.Millisecond
 	DefaultQueueCap        = 4096
 	DefaultWorkers         = 2
+	DefaultSchedWorkers    = 1
 	DefaultStatusRetention = 1 << 20
 )
 
@@ -57,6 +58,14 @@ type Config struct {
 	// effective mapper regardless of this setting.
 	Workers int
 
+	// SchedWorkers bounds the internal kernel pool of each mapper for
+	// schedulers that implement sched.WorkerTunable (aco, hbo, rbs, ga).
+	// The default is 1 (serial kernels): the daemon already runs Workers
+	// mappers concurrently, so widening each mapper's pool oversubscribes
+	// the host unless Workers is lowered to match. Assignments are
+	// bit-identical at every setting; only latency moves.
+	SchedWorkers int
+
 	// Seed derives every random stream (per-worker scheduler randomness,
 	// online policy randomness), keeping runs reproducible.
 	Seed int64
@@ -80,6 +89,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = DefaultWorkers
+	}
+	if cfg.SchedWorkers <= 0 {
+		cfg.SchedWorkers = DefaultSchedWorkers
 	}
 	if cfg.StatusRetention <= 0 {
 		cfg.StatusRetention = DefaultStatusRetention

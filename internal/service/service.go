@@ -121,7 +121,7 @@ func New(env *cloud.Environment, cfg Config) (*Service, error) {
 		s.mappers = make([]sched.Scheduler, cfg.Workers)
 		s.rands = make([]*rand.Rand, cfg.Workers)
 		for i := range s.mappers {
-			m, err := sched.New(cfg.Scheduler)
+			m, err := sched.New(cfg.Scheduler, sched.WithWorkers(cfg.SchedWorkers))
 			if err != nil {
 				return nil, err
 			}

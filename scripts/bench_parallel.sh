@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Record BENCH_parallel.json: worker-count scaling curves for the parallel
+# mapping kernels on the Fig. 5a (homogeneous 20x2000) and Fig. 6b
+# (heterogeneous 50x500) scheduling-time workloads, plus the paper-scale
+# smoke point (10k VMs x 100k cloudlets, one mapping decision per iteration).
+#
+# Usage: scripts/bench_parallel.sh [output.json]
+set -eu
+
+out="${1:-BENCH_parallel.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Figure-scale curves: long enough benchtime to settle per-op numbers.
+go test . -run '^$' -bench 'ParallelFig5a|ParallelFig6b' -benchtime=500ms | tee "$tmp"
+# Paper-scale smoke: one iteration per sub-bench; appends to the same log.
+go test . -run '^$' -bench 'ParallelPaperScale' -benchtime=1x | tee -a "$tmp"
+
+go run ./cmd/benchsmoke -json "$out" \
+  -desc "Worker-count scaling of the parallel mapping kernels (ACO ant construction, HBO group sorts + class-matrix precompute, RBS per-cloudlet draws) on the Fig. 5a and Fig. 6b scheduling-time workloads plus a 10k VM x 100k cloudlet paper-scale smoke point. Results are bit-identical at every worker count (worker-invariance suite); only wall clock moves. Record the host's core count from 'environment.cores' when reading speedups: on a single-core host the curves bound pool overhead, not scaling." \
+  < "$tmp"

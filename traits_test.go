@@ -1,0 +1,43 @@
+package bioschedsim_test
+
+import (
+	"testing"
+
+	"bioschedsim/internal/sched"
+
+	_ "bioschedsim/internal/experiments" // links every scheduler
+)
+
+// TestParallelTraitDeclarations pins which schedulers claim the multicore
+// kernel contract (Traits.Parallel => WorkerTunable + bit-identical results
+// for any Workers value, enforced by the check harness's worker-invariance
+// suite). Flipping a row here means the scheduler gained or lost a parallel
+// kernel and must move in or out of that suite deliberately.
+func TestParallelTraitDeclarations(t *testing.T) {
+	want := map[string]bool{
+		"aco":    true,
+		"hbo":    true,
+		"rbs":    true,
+		"ga":     true,
+		"base":   false,
+		"greedy": false,
+	}
+	for name, parallel := range want {
+		tr, ok := sched.TraitsOf(name)
+		if !ok {
+			t.Errorf("%s: no traits declared", name)
+			continue
+		}
+		if tr.Parallel != parallel {
+			t.Errorf("%s: Traits.Parallel = %v, want %v", name, tr.Parallel, parallel)
+		}
+		s, err := sched.New(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if _, tunable := s.(sched.WorkerTunable); tunable != parallel {
+			t.Errorf("%s: WorkerTunable = %v but Traits.Parallel = %v; the two must agree", name, tunable, parallel)
+		}
+	}
+}

@@ -2,12 +2,40 @@
 # Repo verification gate: build, vet, repo-specific static analysis
 # (schedlint), full test suite with coverage floors on the objective and
 # scheduling layers, the property-checking campaign (schedcheck) over every
-# registered scheduler, a full-module race pass (the parallel population
-# evaluator, the experiment runner, and the scheduling daemon's
-# submit->flush->execute pipeline all exercise real concurrency), and a
-# short fuzz smoke over the two untrusted-input boundaries (the daemon's
-# JSON submit decoder and the workload trace parser).
+# registered scheduler — including the worker-invariance suite for the
+# parallel mapping kernels — a full-module race pass plus an explicit
+# parallel-kernel race gate (aco/hbo/rbs/ga/objective), and a short fuzz
+# smoke over the two untrusted-input boundaries (the daemon's JSON submit
+# decoder and the workload trace parser).
+#
+# Targets:
+#   verify.sh              full gate (default)
+#   verify.sh bench-smoke  worker-scaling smoke: Fig 5a / Fig 6b benches
+#                          across worker counts, failing if even the best
+#                          parallel width is >10% slower than workers=1 on
+#                          the large configs (micro-scale families are
+#                          noise at smoke benchtimes; cmd/benchsmoke)
 set -eux
+
+bench_smoke() {
+  # -benchtime=200ms keeps this a smoke, not a measurement; the recorded
+  # curves live in BENCH_parallel.json (scripts/bench_parallel.sh).
+  go test . -run '^$' -bench 'ParallelFig5a|ParallelFig6b' -benchtime=200ms > bench-smoke.txt 2>&1 || { cat bench-smoke.txt; exit 1; }
+  cat bench-smoke.txt
+  go run ./cmd/benchsmoke -gate -max-slowdown 1.10 < bench-smoke.txt
+}
+
+case "${1:-all}" in
+bench-smoke)
+  bench_smoke
+  exit 0
+  ;;
+all) ;;
+*)
+  echo "usage: verify.sh [bench-smoke]" >&2
+  exit 2
+  ;;
+esac
 
 go build ./...
 go vet ./...
@@ -33,9 +61,17 @@ awk '
 ' coverage.txt
 
 # Property-checking campaign: every registered scheduler against randomized
-# scenarios and the shared invariant suite (CI budget).
+# scenarios and the shared invariant suite (CI budget). The suite includes
+# worker-invariance: every Traits.Parallel scheduler re-run at workers
+# in {1, 2, GOMAXPROCS} with bit-identical assignments required.
 go run ./cmd/schedcheck -quick
 
 go test -race ./...
+# Explicit race gate over the parallel mapping kernels: the invariance and
+# stress tests drive multi-worker pools even on single-core CI hosts.
+go test -race -run 'WorkerCountInvariant|ConcurrentScheduleRace' ./internal/aco ./internal/hbo ./internal/rbs ./internal/ga ./internal/objective
+
 go test -run='^$' -fuzz=FuzzDecodeSubmit -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/workload
+
+bench_smoke
