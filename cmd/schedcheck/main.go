@@ -2,7 +2,8 @@
 // over the registered schedulers: randomized scenarios spanning the paper's
 // parameter space and its degenerate corners, checked against the shared
 // invariant suite (conservation, determinism, permutation invariance,
-// differential oracle, Eq. 12/13 sanity, empty-batch rejection).
+// worker invariance, shard-count invariance of the merged Eq. 12/13
+// metrics, differential oracle, Eq. 12/13 sanity, empty-batch rejection).
 //
 // Usage:
 //

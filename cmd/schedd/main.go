@@ -71,6 +71,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.IntVar(&opt.svc.QueueCap, "queue", service.DefaultQueueCap, "admission queue bound (429 beyond it)")
 	fs.IntVar(&opt.svc.Workers, "workers", service.DefaultWorkers, "batch-mapping worker pool size")
 	fs.IntVar(&opt.svc.SchedWorkers, "sched-workers", service.DefaultSchedWorkers, "kernel pool per mapper for WorkerTunable schedulers (1 = serial; widening oversubscribes unless -workers shrinks)")
+	fs.IntVar(&opt.svc.Shards, "shards", service.DefaultShards, "shard the fleet into this many independent engines with load-aware routing (1 = unsharded)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -115,8 +116,8 @@ func run(ctx context.Context, opt *options, ready chan<- string) error {
 			errC <- err
 		}
 	}()
-	log.Printf("schedd: serving on %s (scheduler=%s vms=%d batch=%d flush=%v queue=%d workers=%d)",
-		ln.Addr(), opt.svc.Scheduler, opt.vms, opt.svc.BatchSize, opt.svc.FlushInterval, opt.svc.QueueCap, opt.svc.Workers)
+	log.Printf("schedd: serving on %s (scheduler=%s vms=%d shards=%d batch=%d flush=%v queue=%d workers=%d)",
+		ln.Addr(), opt.svc.Scheduler, opt.vms, svc.Shards(), opt.svc.BatchSize, opt.svc.FlushInterval, opt.svc.QueueCap, opt.svc.Workers)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

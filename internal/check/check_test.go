@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"bioschedsim/internal/cloud"
 	"bioschedsim/internal/sched"
 
 	// Link every scheduler into the registry so the campaign covers the
@@ -397,5 +398,56 @@ func TestFixturesAreExecutable(t *testing.T) {
 		if len(b.Ctx.Cloudlets) != 30 || len(b.Ctx.VMs) != 6 {
 			t.Fatalf("%s: wrong sizes", name)
 		}
+	}
+}
+
+// TestShardInvarianceViolationIsCaught proves the shard-count-invariance
+// check detects a broken cross-shard merge: a planted execution seam that
+// skews one cloudlet's finish time whenever more than one shard is in play
+// must fail the invariant, while the real executeSharded passes (the green
+// campaign above runs it on every scenario).
+func TestShardInvarianceViolationIsCaught(t *testing.T) {
+	orig := shardExecute
+	defer func() { shardExecute = orig }()
+	shardExecute = func(b *Built, pos []int, parts [][]*cloud.VM) ([][]*cloud.Cloudlet, error) {
+		out, err := executeSharded(b, pos, parts)
+		if err != nil || len(parts) == 1 {
+			return out, err
+		}
+		// The plant: one shard's clock drifts — exactly the class of bug a
+		// broken metric merge would hide.
+		for si := len(out) - 1; si >= 0; si-- {
+			if len(out[si]) > 0 {
+				out[si][0].FinishTime += 1
+				break
+			}
+		}
+		return out, nil
+	}
+	sc := Scenario{Class: ClassHeterogeneous, VMs: 6, Cloudlets: 12, DCs: 1, Seed: 5}
+	v := CheckScenario("base", sc)
+	if v == nil {
+		t.Fatal("skewed shard execution passed the invariance check")
+	}
+	if v.Invariant != InvShardInvariance {
+		t.Fatalf("caught invariant %q, want %q (%v)", v.Invariant, InvShardInvariance, v.Err)
+	}
+}
+
+// TestShardInvarianceSkipsSingleVMFleets: a 1-VM fleet admits only the
+// trivial partition, so the invariant has nothing to compare and must not
+// fail the scenario.
+func TestShardInvarianceSkipsSingleVMFleets(t *testing.T) {
+	if v := CheckScenario("base", Scenario{Class: ClassOneVM, VMs: 1, Cloudlets: 4, DCs: 1, Seed: 3}); v != nil {
+		t.Fatalf("single-VM scenario failed: %v", v)
+	}
+}
+
+// TestShardInvarianceCoversBurstArrivals pins the staggered-arrival path:
+// partitioned execution must respect per-cloudlet arrival offsets and still
+// merge bit-identically.
+func TestShardInvarianceCoversBurstArrivals(t *testing.T) {
+	if v := CheckScenario("base", Scenario{Class: ClassBurst, VMs: 5, Cloudlets: 20, DCs: 1, Seed: 11}); v != nil {
+		t.Fatalf("burst scenario failed: %v", v)
 	}
 }

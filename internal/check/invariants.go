@@ -25,6 +25,7 @@ const (
 	InvDeterminism      = "determinism"
 	InvPermutation      = "permutation"
 	InvWorkerInvariance = "worker-invariance"
+	InvShardInvariance  = "shard-invariance"
 	InvOracle           = "oracle"
 	InvEq12             = "eq12"
 	InvEq13             = "eq13"
@@ -133,7 +134,10 @@ func CheckScenario(scheduler string, sc Scenario) *Violation {
 	if v := checkOracle(b, as, pos); v != nil {
 		return v
 	}
-	return checkExecution(sc, b, as)
+	if v := checkExecution(sc, b, as); v != nil {
+		return v
+	}
+	return checkShardInvariance(sc, pos)
 }
 
 // checkDeterminism rebuilds the scenario from its seed and re-schedules

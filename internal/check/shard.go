@@ -1,0 +1,159 @@
+package check
+
+import (
+	"fmt"
+
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/sim"
+)
+
+// shardExecute is the execution seam for the shard-count-invariance
+// invariant. Tests swap it for a deliberately broken implementation to
+// prove the invariant actually detects divergence (the seeded plant);
+// production checking always runs executeSharded.
+var shardExecute = executeSharded
+
+// shardCounts returns the shard counts the invariance check compares,
+// clamped so every shard owns at least one VM.
+func shardCounts(fleet int) []int {
+	counts := []int{1}
+	for _, n := range []int{2, 4} {
+		if n <= fleet {
+			counts = append(counts, n)
+		}
+	}
+	return counts
+}
+
+// checkShardInvariance asserts the sharded daemon's metric-merge contract
+// at the simulation layer: partition the fleet into n contiguous ranges,
+// route every cloudlet to the shard owning its baseline-assigned VM, execute
+// each shard on its own engine and broker, and merge. Because the placement
+// is pinned to the baseline assignment, per-VM workloads are identical under
+// every partition, so the merged Eq. 12 (via both the canonical union and
+// the ordered RunStats fold) and Eq. 13 (via the canonical ID-sorted union)
+// must be bit-identical at every shard count — compared with relDiff > 0,
+// no tolerance.
+func checkShardInvariance(sc Scenario, pos []int) *Violation {
+	b0, err := sc.Build()
+	if err != nil {
+		return violationf(InvBuild, "rebuilding %v: %v", sc, err)
+	}
+	counts := shardCounts(len(b0.Env.VMs))
+	if len(counts) < 2 {
+		return nil // a 1-VM fleet admits only one partition: nothing to compare
+	}
+
+	type result struct {
+		finished int
+		simUnion float64 // Eq. 12 over the canonical merged union
+		simFold  float64 // Eq. 12 via the ordered RunStats fold
+		imbUnion float64 // Eq. 13 over the canonical merged union
+	}
+	var base result
+	for ci, n := range counts {
+		b, err := sc.Build()
+		if err != nil {
+			return violationf(InvBuild, "rebuilding %v for %d shards: %v", sc, n, err)
+		}
+		parts, err := cloud.PartitionVMs(b.Env.VMs, n)
+		if err != nil {
+			return violationf(InvShardInvariance, "partitioning %d VMs into %d shards: %v", len(b.Env.VMs), n, err)
+		}
+		finishedParts, err := shardExecute(b, pos, parts)
+		if err != nil {
+			return violationf(InvShardInvariance, "executing at %d shards: %v", n, err)
+		}
+		merged := metrics.MergeFinished(finishedParts...)
+		var fold metrics.RunStats
+		for _, p := range finishedParts { // ascending shard order: the canonical reduction
+			fold = fold.Merge(metrics.CollectRunStats(p))
+		}
+		r := result{
+			finished: len(merged),
+			simUnion: float64(metrics.SimulationTime(merged)),
+			simFold:  float64(fold.SimTime()),
+			imbUnion: metrics.TimeImbalance(merged),
+		}
+		if d := relDiff(r.simUnion, r.simFold); d > 0 {
+			return violationf(InvShardInvariance,
+				"at %d shards, Eq.12 over the merged union (%v) != the RunStats fold (%v)", n, r.simUnion, r.simFold)
+		}
+		if ci == 0 {
+			base = r
+			continue
+		}
+		if r.finished != base.finished {
+			return violationf(InvShardInvariance,
+				"%d cloudlets finished at %d shards, %d at %d shards", r.finished, n, base.finished, counts[0])
+		}
+		if d := relDiff(r.simUnion, base.simUnion); d > 0 {
+			return violationf(InvShardInvariance,
+				"merged Eq.12 moved across shard counts: %v at %d shards vs %v at %d shards (rel %.3g)",
+				r.simUnion, n, base.simUnion, counts[0], d)
+		}
+		if d := relDiff(r.imbUnion, base.imbUnion); d > 0 {
+			return violationf(InvShardInvariance,
+				"merged Eq.13 moved across shard counts: %v at %d shards vs %v at %d shards (rel %.3g)",
+				r.imbUnion, n, base.imbUnion, counts[0], d)
+		}
+	}
+	return nil
+}
+
+// executeSharded runs the baseline assignment partition-respecting: each
+// cloudlet executes on the shard owning its assigned VM, each shard on an
+// independent engine over a Subset environment that preserves VM identity.
+// It returns the per-shard finished sets in ascending shard order.
+func executeSharded(b *Built, pos []int, parts [][]*cloud.VM) ([][]*cloud.Cloudlet, error) {
+	shardOf := make(map[*cloud.VM]int, len(b.Env.VMs))
+	for si, p := range parts {
+		for _, vm := range p {
+			shardOf[vm] = si
+		}
+	}
+	type group struct {
+		cls []*cloud.Cloudlet
+		vms []*cloud.VM
+		arr []sim.Time
+	}
+	groups := make([]group, len(parts))
+	for i, c := range b.Ctx.Cloudlets {
+		vm := b.Ctx.VMs[pos[i]]
+		si, ok := shardOf[vm]
+		if !ok {
+			return nil, fmt.Errorf("assigned VM %d missing from every partition range", vm.ID)
+		}
+		g := &groups[si]
+		g.cls = append(g.cls, c)
+		g.vms = append(g.vms, vm)
+		var at sim.Time
+		if b.Arrivals != nil {
+			at = b.Arrivals[i]
+		}
+		g.arr = append(g.arr, at)
+	}
+	out := make([][]*cloud.Cloudlet, len(parts))
+	for si, p := range parts {
+		g := groups[si]
+		if len(g.cls) == 0 {
+			continue // a shard with no routed work finishes nothing
+		}
+		sub, err := b.Env.Subset(p)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d subset: %w", si, err)
+		}
+		eng := sim.NewEngine()
+		broker := cloud.NewBroker(eng, sub, cloud.TimeSharedFactory)
+		if err := broker.SubmitAllSchedule(g.cls, g.vms, g.arr); err != nil {
+			return nil, fmt.Errorf("shard %d submission: %w", si, err)
+		}
+		eng.Run()
+		if got := len(broker.Finished()); got != len(g.cls) {
+			return nil, fmt.Errorf("shard %d finished %d of %d cloudlets", si, got, len(g.cls))
+		}
+		out[si] = broker.Finished()
+	}
+	return out, nil
+}

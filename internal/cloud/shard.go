@@ -1,0 +1,66 @@
+package cloud
+
+import "fmt"
+
+// PartitionVMs splits a fleet into n contiguous, disjoint ranges that
+// together cover it exactly — the ownership map of a sharded daemon, where
+// each shard's engine executes only the VMs of its range. The first
+// len(vms) mod n ranges are one VM larger, so range sizes differ by at most
+// one. The split is a pure function of (vms, n): the same fleet always
+// partitions identically, which is what lets a sharded run be replayed.
+//
+// VM identity is preserved: the returned ranges alias the input slice's
+// *VM pointers (IDs, host placement, and datacenter pricing untouched).
+func PartitionVMs(vms []*VM, n int) ([][]*VM, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cloud: partition into %d shards; need at least 1", n)
+	}
+	if n > len(vms) {
+		return nil, fmt.Errorf("cloud: cannot partition %d VMs into %d shards; shards must not exceed fleet size", len(vms), n)
+	}
+	out := make([][]*VM, n)
+	size, extra := len(vms)/n, len(vms)%n
+	lo := 0
+	for i := range out {
+		hi := lo + size
+		if i < extra {
+			hi++
+		}
+		out[i] = vms[lo:hi:hi]
+		lo = hi
+	}
+	return out, nil
+}
+
+// Subset derives an environment owning only the given VMs while sharing e's
+// datacenters (read-only after construction, so concurrent shard engines
+// can price and validate against them safely). Every VM must belong to e
+// and appear at most once; the *VM pointers are kept as-is, so nothing is
+// renumbered — a cloudlet finishing on shard 3 reports the same VM ID it
+// would have reported on an unsharded fleet.
+func (e *Environment) Subset(vms []*VM) (*Environment, error) {
+	if len(vms) == 0 {
+		return nil, fmt.Errorf("cloud: empty VM subset")
+	}
+	member := make(map[*VM]bool, len(e.VMs))
+	for _, vm := range e.VMs {
+		member[vm] = true
+	}
+	seen := make(map[*VM]bool, len(vms))
+	for _, vm := range vms {
+		if vm == nil {
+			return nil, fmt.Errorf("cloud: nil VM in subset")
+		}
+		if !member[vm] {
+			return nil, fmt.Errorf("cloud: VM %d is not part of the environment", vm.ID)
+		}
+		if seen[vm] {
+			return nil, fmt.Errorf("cloud: VM %d appears twice in the subset", vm.ID)
+		}
+		seen[vm] = true
+	}
+	return &Environment{
+		Datacenters: e.Datacenters,
+		VMs:         append([]*VM(nil), vms...),
+	}, nil
+}

@@ -1,0 +1,118 @@
+package cloud
+
+import "testing"
+
+// shardTestEnv builds one datacenter with a host large enough for n VMs.
+func shardTestEnv(t *testing.T, n int) *Environment {
+	t.Helper()
+	host := NewHost(0, NewPEs(64, 4000), 1<<30, 1<<30, 1<<40)
+	dc := NewDatacenter(0, "dc", Characteristics{CostPerProcessing: 1}, []*Host{host})
+	vms := make([]*VM, n)
+	for i := range vms {
+		vms[i] = NewVM(i, 1000, 1, 512, 1024, 100)
+		if err := host.Place(vms[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	env := &Environment{Datacenters: []*Datacenter{dc}, VMs: vms}
+	if err := env.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestPartitionVMsContiguousDisjointCovering(t *testing.T) {
+	env := shardTestEnv(t, 10)
+	for _, n := range []int{1, 2, 3, 4, 10} {
+		parts, err := PartitionVMs(env.VMs, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(parts) != n {
+			t.Fatalf("n=%d: %d ranges", n, len(parts))
+		}
+		next := 0
+		for i, p := range parts {
+			if len(p) == 0 {
+				t.Fatalf("n=%d: empty range %d", n, i)
+			}
+			for _, vm := range p {
+				if vm != env.VMs[next] {
+					t.Fatalf("n=%d: range %d not contiguous at fleet index %d", n, i, next)
+				}
+				next++
+			}
+		}
+		if next != len(env.VMs) {
+			t.Fatalf("n=%d: ranges cover %d of %d VMs", n, next, len(env.VMs))
+		}
+		// Sizes differ by at most one.
+		min, max := len(parts[0]), len(parts[0])
+		for _, p := range parts {
+			if len(p) < min {
+				min = len(p)
+			}
+			if len(p) > max {
+				max = len(p)
+			}
+		}
+		if max-min > 1 {
+			t.Fatalf("n=%d: range sizes spread %d..%d", n, min, max)
+		}
+	}
+}
+
+func TestPartitionVMsRejectsBadCounts(t *testing.T) {
+	env := shardTestEnv(t, 3)
+	if _, err := PartitionVMs(env.VMs, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := PartitionVMs(env.VMs, -1); err == nil {
+		t.Fatal("n=-1 accepted")
+	}
+	if _, err := PartitionVMs(env.VMs, 4); err == nil {
+		t.Fatal("more shards than VMs accepted")
+	}
+}
+
+func TestSubsetPreservesIdentity(t *testing.T) {
+	env := shardTestEnv(t, 6)
+	sub, err := env.Subset(env.VMs[2:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.VMs) != 3 {
+		t.Fatalf("subset fleet %d, want 3", len(sub.VMs))
+	}
+	for i, vm := range sub.VMs {
+		if vm != env.VMs[2+i] {
+			t.Fatalf("subset VM %d is not the same object as fleet VM %d", i, 2+i)
+		}
+		if vm.ID != 2+i {
+			t.Fatalf("subset renumbered VM: got ID %d, want %d", vm.ID, 2+i)
+		}
+	}
+	if &sub.Datacenters[0] == &env.Datacenters[0] && sub.Datacenters[0] != env.Datacenters[0] {
+		t.Fatal("datacenters not shared")
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subset environment invalid: %v", err)
+	}
+}
+
+func TestSubsetRejectsForeignNilAndDuplicateVMs(t *testing.T) {
+	env := shardTestEnv(t, 3)
+	other := shardTestEnv(t, 1)
+	if _, err := env.Subset(nil); err == nil {
+		t.Fatal("empty subset accepted")
+	}
+	if _, err := env.Subset([]*VM{other.VMs[0]}); err == nil {
+		t.Fatal("foreign VM accepted")
+	}
+	if _, err := env.Subset([]*VM{env.VMs[0], nil}); err == nil {
+		t.Fatal("nil VM accepted")
+	}
+	if _, err := env.Subset([]*VM{env.VMs[1], env.VMs[1]}); err == nil {
+		t.Fatal("duplicate VM accepted")
+	}
+}

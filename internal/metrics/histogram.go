@@ -73,6 +73,37 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// Merge folds o's observations into h: per-bucket counts, the observation
+// count, and the running sum all add. Both histograms must share the same
+// bucket layout; like NewHistogram, a mismatch panics because layouts are
+// static configuration. Merge locks o only long enough to copy its state
+// and never holds both locks at once, so any two histograms can be merged
+// concurrently with ongoing Observe calls — the sharded daemon uses this to
+// render one fleet-wide series from per-shard histograms at scrape time.
+func (h *Histogram) Merge(o *Histogram) {
+	o.mu.Lock()
+	counts := append([]uint64(nil), o.counts...)
+	sum, count := o.sum, o.count
+	bounds := o.bounds
+	o.mu.Unlock()
+
+	if len(bounds) != len(h.bounds) {
+		panic(fmt.Sprintf("metrics: merging histograms with %d and %d bounds", len(h.bounds), len(bounds)))
+	}
+	for i, b := range bounds {
+		if b != h.bounds[i] { // layout identity is exact equality by design
+			panic(fmt.Sprintf("metrics: merging histograms with different bounds at index %d (%v vs %v)", i, h.bounds[i], b))
+		}
+	}
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.sum += sum
+	h.count += count
+	h.mu.Unlock()
+}
+
 // HistogramSnapshot is a consistent point-in-time view of a Histogram.
 type HistogramSnapshot struct {
 	Bounds     []float64 // upper bounds, ascending (excludes +Inf)

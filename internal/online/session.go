@@ -52,6 +52,21 @@ func NewSession(env *cloud.Environment, policy Scheduler, factory cloud.Schedule
 	return s, nil
 }
 
+// NewSubsetSession builds a session over the slice of base's fleet given by
+// vms — a shard engine. The subset environment shares base's datacenters but
+// owns only the listed VMs, with pointer identity (and therefore VM IDs)
+// preserved, so per-shard results report the same VM numbering an unsharded
+// run would. Each subset session gets its own engine, broker, and clock;
+// sessions over disjoint subsets touch disjoint VM state and may run
+// concurrently (the datacenters they share are read-only during execution).
+func NewSubsetSession(base *cloud.Environment, vms []*cloud.VM, policy Scheduler, factory cloud.SchedulerFactory) (*Session, error) {
+	sub, err := base.Subset(vms)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(sub, policy, factory)
+}
+
 // OnFinish registers a hook invoked at each cloudlet completion, after any
 // policy feedback. It must be set before work is submitted.
 func (s *Session) OnFinish(fn cloud.FinishFunc) { s.onFinish = fn }

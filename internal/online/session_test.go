@@ -183,3 +183,70 @@ func TestNewPolicyRegistryRoundTrip(t *testing.T) {
 		t.Fatal("batch scheduler name misclassified as online policy")
 	}
 }
+
+func TestSubsetSessionsPreserveIdentityAndIsolate(t *testing.T) {
+	env, cls := hetEnv(t, 6, 24, 13)
+	ranges, err := cloud.PartitionVMs(env.VMs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewSubsetSession(env, ranges[0], NewRoundRobin(), cloud.TimeSharedFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSubsetSession(env, ranges[1], NewRoundRobin(), cloud.TimeSharedFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each subset session sees only its range, with the original VM objects
+	// and IDs — nothing renumbered.
+	if len(a.Environment().VMs) != 3 || len(b.Environment().VMs) != 3 {
+		t.Fatalf("subset fleets %d/%d, want 3/3", len(a.Environment().VMs), len(b.Environment().VMs))
+	}
+	for i, vm := range b.Environment().VMs {
+		if vm != env.VMs[3+i] {
+			t.Fatalf("shard 1 VM %d is not fleet VM %d", i, 3+i)
+		}
+	}
+	if err := a.PlaceBatch(cls[:12]); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PlaceBatch(cls[12:]); err != nil {
+		t.Fatal(err)
+	}
+	finA, finB := a.Run(), b.Run()
+	if len(finA) != 12 || len(finB) != 12 {
+		t.Fatalf("finished %d/%d, want 12/12", len(finA), len(finB))
+	}
+	seen := make(map[int]int)
+	for _, c := range finA {
+		if c.VM == nil || c.VM.ID > 2 {
+			t.Fatalf("shard 0 cloudlet %d ran on VM outside its range: %v", c.ID, c.VM)
+		}
+		seen[c.ID]++
+	}
+	for _, c := range finB {
+		if c.VM == nil || c.VM.ID < 3 {
+			t.Fatalf("shard 1 cloudlet %d ran on VM outside its range: %v", c.ID, c.VM)
+		}
+		seen[c.ID]++
+	}
+	if len(seen) != 24 {
+		t.Fatalf("union covers %d of 24 cloudlets", len(seen))
+	}
+	// Clocks are independent: each shard advanced its own simulated time.
+	if a.Now() <= 0 || b.Now() <= 0 {
+		t.Fatalf("shard clocks did not advance: %v / %v", a.Now(), b.Now())
+	}
+}
+
+func TestSubsetSessionRejectsForeignVMs(t *testing.T) {
+	env, _ := hetEnv(t, 4, 4, 5)
+	other, _ := hetEnv(t, 2, 2, 6)
+	if _, err := NewSubsetSession(env, other.VMs[:1], NewRoundRobin(), cloud.TimeSharedFactory); err == nil {
+		t.Fatal("foreign VM subset accepted")
+	}
+	if _, err := NewSubsetSession(env, nil, NewRoundRobin(), cloud.TimeSharedFactory); err == nil {
+		t.Fatal("empty subset accepted")
+	}
+}

@@ -11,11 +11,12 @@ import (
 )
 
 // benchSubmitFlush measures the submit→flush hot path: n concurrent
-// submitters push single-cloudlet requests through admission, coalescing,
-// mapping, and execution on the persistent broker. Rejected submissions
-// retry, so every operation eventually lands — the reported metric is
-// end-to-end accepted-cloudlet throughput under contention.
-func benchSubmitFlush(b *testing.B, submitters int) {
+// submitters push single-cloudlet requests through routing, admission,
+// coalescing, mapping, and execution on the persistent per-shard brokers.
+// Rejected submissions retry, so every operation eventually lands — the
+// reported metric is end-to-end accepted-cloudlet throughput under
+// contention.
+func benchSubmitFlush(b *testing.B, shards, submitters int) {
 	fleet := workload.GenerateVMs(workload.HeterogeneousVMSpec(), 16, 42)
 	env, err := workload.GenerateEnvironment(workload.HeterogeneousDatacenterSpec(2), fleet, 42)
 	if err != nil {
@@ -23,6 +24,7 @@ func benchSubmitFlush(b *testing.B, submitters int) {
 	}
 	svc, err := New(env, Config{
 		Scheduler:     "base",
+		Shards:        shards,
 		BatchSize:     256,
 		FlushInterval: time.Millisecond,
 		QueueCap:      8192,
@@ -67,19 +69,21 @@ func benchSubmitFlush(b *testing.B, submitters int) {
 	wg.Wait()
 	// Wait until everything accepted has executed, so the throughput figure
 	// covers the full submit→flush→execute pipeline.
-	for svc.prom.finished.Load() < uint64(total) {
+	for svc.prom.finishedTotal() < uint64(total) {
 		time.Sleep(time.Millisecond)
 	}
 	b.StopTimer()
 	elapsed := b.Elapsed()
 	b.ReportMetric(float64(total)/elapsed.Seconds(), "cloudlets/s")
-	b.ReportMetric(float64(svc.prom.rejected.Load())/float64(total), "rejects/op")
+	b.ReportMetric(float64(svc.prom.rejectedTotal())/float64(total), "rejects/op")
 }
 
 func BenchmarkSubmitFlush(b *testing.B) {
-	for _, submitters := range []int{1000, 10000} {
-		b.Run(fmt.Sprintf("submitters=%d", submitters), func(b *testing.B) {
-			benchSubmitFlush(b, submitters)
-		})
+	for _, shards := range []int{1, 2, 4} {
+		for _, submitters := range []int{1000, 10000} {
+			b.Run(fmt.Sprintf("shards=%d/submitters=%d", shards, submitters), func(b *testing.B) {
+				benchSubmitFlush(b, shards, submitters)
+			})
+		}
 	}
 }

@@ -1,20 +1,27 @@
 // Package service turns the repository's schedulers into a long-running
-// scheduling daemon: an HTTP/JSON front end accepts cloudlet submissions,
-// a time/size-bounded batcher coalesces them, a worker pool maps each
+// scheduling daemon: an HTTP/JSON front end accepts cloudlet submissions, a
+// deterministic load-aware dispatcher routes each cloudlet to one of N
+// shards, and every shard runs the full pipeline independently — a
+// time/size-bounded batcher coalesces its cloudlets, a worker pool maps each
 // flushed batch with a registered scheduler (batch algorithms from
 // internal/sched — ACO, HBO, RBS, GA, PSO, base, … — or per-arrival
 // policies from internal/online), and a persistent online.Session executes
-// placements on one broker whose simulated clock advances across batches.
+// placements on the shard's broker, whose simulated clock advances across
+// batches. Shards own disjoint contiguous VM ranges, so their executions
+// proceed concurrently without sharing mutable state; fleet-wide metrics are
+// produced by a deterministic merge over the per-shard figures.
 //
-// The shape is the one production serving systems share: bounded admission
-// (429 + Retry-After under pressure), batch coalescing (flush on N items or
-// T elapsed, whichever first), concurrent mapping with serialized state
-// mutation, graceful drain on shutdown, and a Prometheus observability
-// surface. See DESIGN.md §7.
+// The shape is the one production serving systems share: bounded per-shard
+// admission (429 + Retry-After under pressure), batch coalescing (flush on N
+// items or T elapsed, whichever first), concurrent mapping with serialized
+// per-shard state mutation, graceful drain on shutdown, and a Prometheus
+// observability surface with both merged and per-shard series. See
+// DESIGN.md §7 and §11.
 package service
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"bioschedsim/internal/online"
@@ -28,6 +35,7 @@ const (
 	DefaultQueueCap        = 4096
 	DefaultWorkers         = 2
 	DefaultSchedWorkers    = 1
+	DefaultShards          = 1
 	DefaultStatusRetention = 1 << 20
 )
 
@@ -40,34 +48,49 @@ type Config struct {
 	// ("online-eft", "online-aco", …). Required.
 	Scheduler string
 
-	// BatchSize flushes the coalescing queue when this many cloudlets have
-	// accumulated.
+	// BatchSize flushes a shard's coalescing queue when this many cloudlets
+	// have accumulated.
 	BatchSize int
 
 	// FlushInterval flushes a non-empty partial batch this long after its
 	// first cloudlet arrived, bounding worst-case queueing latency.
 	FlushInterval time.Duration
 
-	// QueueCap bounds the admission queue. Submissions beyond it are
-	// rejected with ErrQueueFull (HTTP 429) instead of queueing unboundedly.
+	// QueueCap bounds each shard's admission queue. Submissions beyond a
+	// target shard's bound are rejected with ErrQueueFull (HTTP 429) instead
+	// of queueing unboundedly or spilling onto other shards — backpressure is
+	// a per-shard signal, so a hot shard refuses work while the rest of the
+	// fleet keeps accepting.
 	QueueCap int
 
-	// Workers sizes the batch-mapping worker pool. Mapping runs
-	// concurrently across batches; execution on the shared broker is
-	// serialized. Online policies are stateful, so they always run with one
-	// effective mapper regardless of this setting.
+	// Workers sizes each shard's batch-mapping worker pool. Mapping runs
+	// concurrently across a shard's batches; execution on the shard's broker
+	// is serialized, while distinct shards execute concurrently. Online
+	// policies are stateful, so each shard runs one effective mapper
+	// regardless of this setting.
 	Workers int
 
 	// SchedWorkers bounds the internal kernel pool of each mapper for
 	// schedulers that implement sched.WorkerTunable (aco, hbo, rbs, ga).
-	// The default is 1 (serial kernels): the daemon already runs Workers
-	// mappers concurrently, so widening each mapper's pool oversubscribes
-	// the host unless Workers is lowered to match. Assignments are
-	// bit-identical at every setting; only latency moves.
+	// The default is 1 (serial kernels): the daemon already runs
+	// Shards·Workers mappers concurrently, so widening each mapper's pool
+	// oversubscribes the host unless the other knobs are lowered to match —
+	// Validate rejects combinations that exceed the host's processor count.
+	// Assignments are bit-identical at every setting; only latency moves.
 	SchedWorkers int
 
+	// Shards partitions the VM fleet into this many contiguous, disjoint
+	// ranges, each driven by its own engine, broker, batcher, and admission
+	// gate. Cloudlets are routed to shards by a deterministic load-aware
+	// dispatcher (least outstanding MI, seeded-hash tiebreak). At the default
+	// of 1 the daemon behaves exactly as an unsharded build: same seeds,
+	// same placements, same metric series.
+	Shards int
+
 	// Seed derives every random stream (per-worker scheduler randomness,
-	// online policy randomness), keeping runs reproducible.
+	// online policy randomness, the dispatcher's tiebreak), keeping runs
+	// reproducible. Shard i's streams are offset by i·2³², so shard 0 draws
+	// the exact streams an unsharded daemon would.
 	Seed int64
 
 	// StatusRetention caps the number of finished cloudlet records kept for
@@ -77,6 +100,8 @@ type Config struct {
 }
 
 // withDefaults returns cfg with zero fields replaced by package defaults.
+// Negative values are left for Validate to reject — only the documented
+// zero-value convention selects a default.
 func (cfg Config) withDefaults() Config {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = DefaultBatchSize
@@ -93,23 +118,40 @@ func (cfg Config) withDefaults() Config {
 	if cfg.SchedWorkers <= 0 {
 		cfg.SchedWorkers = DefaultSchedWorkers
 	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
 	if cfg.StatusRetention <= 0 {
 		cfg.StatusRetention = DefaultStatusRetention
 	}
 	return cfg
 }
 
-// validate checks the scheduler name against both registries.
-func (cfg Config) validate() error {
+// Validate is the single error path for daemon configuration: every rule —
+// scheduler registration, shard bounds against the fleet, and worker
+// oversubscription — is checked here, so New, the CLI, and tests all fail
+// with the same diagnostics. fleetSize is the number of VMs the daemon will
+// schedule onto. Call after withDefaults (as New does) or with every field
+// explicitly set.
+func (cfg Config) Validate(fleetSize int) error {
 	if cfg.Scheduler == "" {
 		return fmt.Errorf("service: Config.Scheduler is required (batch: %v; online: %v)",
 			sched.Names(), online.PolicyNames())
 	}
-	if online.IsPolicy(cfg.Scheduler) {
-		return nil
+	if !online.IsPolicy(cfg.Scheduler) {
+		if _, err := sched.New(cfg.Scheduler); err != nil {
+			return fmt.Errorf("service: %w", err)
+		}
 	}
-	if _, err := sched.New(cfg.Scheduler); err != nil {
-		return fmt.Errorf("service: %w", err)
+	if cfg.Shards < 1 {
+		return fmt.Errorf("service: Shards must be at least 1, got %d", cfg.Shards)
+	}
+	if fleetSize > 0 && cfg.Shards > fleetSize {
+		return fmt.Errorf("service: %d shards over a %d-VM fleet; every shard needs at least one VM", cfg.Shards, fleetSize)
+	}
+	if procs := runtime.GOMAXPROCS(0); cfg.SchedWorkers > 1 && cfg.Shards*cfg.Workers*cfg.SchedWorkers > procs {
+		return fmt.Errorf("service: Shards·Workers·SchedWorkers = %d·%d·%d oversubscribes GOMAXPROCS=%d; lower one of the knobs",
+			cfg.Shards, cfg.Workers, cfg.SchedWorkers, procs)
 	}
 	return nil
 }

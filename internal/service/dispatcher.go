@@ -1,0 +1,57 @@
+package service
+
+import (
+	"sync"
+
+	"bioschedsim/internal/xrand"
+)
+
+// dispatcher routes cloudlets to shards by least outstanding work: each
+// shard carries a running total of the MI routed to it, and every cloudlet
+// goes to the shard with the smallest total, ties broken by a seeded
+// counter-indexed hash so equal-load choices are reproducible rather than
+// map-order accidents. The decision sequence is a pure function of the
+// submission attempt stream (lengths in arrival order) and the seed — no
+// clocks, no goroutine identity — which is what lets a sharded run be
+// replayed and lets the shard-count-invariance check reason about routing.
+//
+// Charges are applied at route time and never rolled back: a cloudlet that
+// is subsequently rejected by its shard's admission gate still weighs on
+// that shard's total, so a client retrying after 429 is steered toward the
+// shards that still have headroom instead of hammering the saturated one.
+type dispatcher struct {
+	mu     sync.Mutex
+	seed   uint64
+	routed uint64    // routing decisions taken; indexes the tiebreak stream
+	work   []float64 // cumulative MI routed to each shard
+}
+
+func newDispatcher(shards int, seed int64) *dispatcher {
+	return &dispatcher{seed: uint64(seed), work: make([]float64, shards)}
+}
+
+// route picks the shard for one cloudlet of the given length (MI) and
+// charges it immediately.
+func (d *dispatcher) route(length float64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	min := d.work[0]
+	for _, w := range d.work[1:] {
+		if w < min {
+			min = w
+		}
+	}
+	ties := make([]int, 0, len(d.work))
+	for i, w := range d.work {
+		if w == min {
+			ties = append(ties, i)
+		}
+	}
+	idx := ties[0]
+	if len(ties) > 1 {
+		idx = ties[int(xrand.Stream(d.seed, d.routed).Uint64()%uint64(len(ties)))]
+	}
+	d.routed++
+	d.work[idx] += length
+	return idx
+}

@@ -211,3 +211,103 @@ func TestHTTPMetricsSurface(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPShardedBackpressureAndStatus is the sharded end-to-end test: a
+// saturated shard answers 429 + Retry-After while the rest of the fleet
+// stays below its per-shard cap, and /v1/status/{id} round-trips records
+// for cloudlets living on every shard.
+func TestHTTPShardedBackpressureAndStatus(t *testing.T) {
+	svc, ts := startHTTP(t, Config{
+		Scheduler: "base", Shards: 2,
+		BatchSize: 1 << 20, FlushInterval: time.Hour, QueueCap: 4,
+	})
+
+	// One heavy cloudlet claims a shard; the dispatcher then steers every
+	// light cloudlet to the other shard until its gate fills.
+	resp, body := postJSON(t, ts.URL+"/v1/submit", `{"length": 1e12}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("heavy submit: %d %s", resp.StatusCode, body)
+	}
+	var heavy submitResponse
+	if err := json.Unmarshal(body, &heavy); err != nil {
+		t.Fatal(err)
+	}
+	_, heavyBody := getBody(t, fmt.Sprintf("%s/v1/status/%d", ts.URL, heavy.IDs[0]))
+	var heavyRec StatusRecord
+	if err := json.Unmarshal([]byte(heavyBody), &heavyRec); err != nil {
+		t.Fatal(err)
+	}
+	lightShard := 1 - heavyRec.Shard
+
+	for i := 0; i < 4; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/submit", `{"length": 1}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("light submit %d: %d %s", i, resp.StatusCode, body)
+		}
+		var acc submitResponse
+		if err := json.Unmarshal(body, &acc); err != nil {
+			t.Fatal(err)
+		}
+		_, sb := getBody(t, fmt.Sprintf("%s/v1/status/%d", ts.URL, acc.IDs[0]))
+		var rec StatusRecord
+		if err := json.Unmarshal([]byte(sb), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Shard != lightShard {
+			t.Fatalf("light cloudlet %d reported shard %d over HTTP, want %d", i, rec.Shard, lightShard)
+		}
+	}
+
+	// Five cloudlets sit admitted against a per-shard cap of 4 — under a
+	// single global gate the fifth could never have been accepted — and the
+	// saturated shard now refuses with 429 even though the heavy shard has
+	// three slots free.
+	resp, body = postJSON(t, ts.URL+"/v1/submit", `{"length": 1}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated shard: got %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := svc.shards[heavyRec.Shard].adm.depth(); got != 1 {
+		t.Fatalf("heavy shard depth %v, want 1 — backpressure leaked across shards", got)
+	}
+}
+
+func TestHTTPShardedStatusEveryShard(t *testing.T) {
+	_, ts := startHTTP(t, Config{Scheduler: "base", Shards: 2, BatchSize: 8, FlushInterval: 2 * time.Millisecond})
+	resp, body := postJSON(t, ts.URL+"/v1/submit",
+		`{"cloudlets": [`+strings.Repeat(`{"length": 1000},`, 39)+`{"length": 1000}]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var acc submitResponse
+	if err := json.Unmarshal(body, &acc); err != nil || acc.Accepted != 40 {
+		t.Fatalf("submit response %s: %v", body, err)
+	}
+	served := map[int]int{}
+	deadline := time.Now().Add(15 * time.Second)
+	for _, id := range acc.IDs {
+		for {
+			code, sb := getBody(t, fmt.Sprintf("%s/v1/status/%d", ts.URL, id))
+			if code != http.StatusOK {
+				t.Fatalf("status %d: %d %s", id, code, sb)
+			}
+			var rec StatusRecord
+			if err := json.Unmarshal([]byte(sb), &rec); err != nil {
+				t.Fatal(err)
+			}
+			if rec.State == StateFinished {
+				served[rec.Shard]++
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("cloudlet %d stuck: %+v", id, rec)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if len(served) != 2 {
+		t.Fatalf("status round-trips cover shards %v, want both", served)
+	}
+}

@@ -24,13 +24,20 @@ type gauge struct{ bits atomic.Uint64 }
 func (g *gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 
-// promMetrics is the daemon's observability surface, rendered in Prometheus
-// text exposition format by WritePrometheus. Distribution-shaped series use
-// internal/metrics.Histogram; Eq. 12/13 per-batch figures are exported as
-// gauges of the most recent flush.
-type promMetrics struct {
-	submitted    counter // accepted cloudlets
-	rejected     counter // cloudlets refused with queue-full
+// Shared bucket layouts: every shard uses the same layout so per-shard
+// histograms merge bucket-for-bucket into the fleet-wide series.
+var (
+	batchSizeBuckets = metrics.ExpBuckets(1, 2, 13)      // 1 → 4096 cloudlets
+	schedSecsBuckets = metrics.ExpBuckets(1e-5, 4, 12)   // 10µs → ~2.7min
+)
+
+// shardMetrics is one shard's slice of the observability surface. Every
+// distribution and counter is recorded here, shard-locally and without
+// cross-shard contention; the merged fleet-wide view is computed at scrape
+// time by promMetrics.
+type shardMetrics struct {
+	submitted    counter // accepted cloudlets routed to this shard
+	rejected     counter // cloudlets this shard was due when a request was refused
 	finished     counter // cloudlets executed to completion
 	failed       counter // cloudlets whose batch failed to map
 	batches      counter // non-empty flushes dispatched
@@ -43,40 +50,165 @@ type promMetrics struct {
 
 	mu        sync.Mutex
 	schedSecs map[string]*metrics.Histogram // per-scheduler scheduling time
+	run       metrics.RunStats              // cumulative Eq. 12/13 aggregate
+}
+
+func newShardMetrics(queueDepth func() float64) *shardMetrics {
+	return &shardMetrics{
+		queueDepth: queueDepth,
+		batchSize:  metrics.NewHistogram(batchSizeBuckets),
+		schedSecs:  map[string]*metrics.Histogram{},
+	}
+}
+
+// schedulingHist returns (creating on first use) the scheduling-time
+// histogram for the named scheduler.
+func (m *shardMetrics) schedulingHist(scheduler string) *metrics.Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.schedSecs[scheduler]
+	if !ok {
+		h = metrics.NewHistogram(schedSecsBuckets)
+		m.schedSecs[scheduler] = h
+	}
+	return h
+}
+
+// runStats returns the shard's cumulative run aggregate.
+func (m *shardMetrics) runStats() metrics.RunStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.run
+}
+
+// promMetrics is the daemon's observability surface: per-shard metric sets
+// plus shared last-batch gauges, rendered in Prometheus text exposition
+// format by WritePrometheus. Fleet-wide series keep their historical
+// (unsharded) names and are produced by a deterministic merge — counters
+// sum, histograms merge bucket-wise, and the cumulative Eq. 12/13 figures
+// come from folding per-shard RunStats in ascending shard order.
+type promMetrics struct {
+	shards []*shardMetrics
 
 	lastSimTime   gauge // Eq. 12 of the last executed batch, simulated seconds
 	lastImbalance gauge // Eq. 13 of the last executed batch
 }
 
-func newPromMetrics(queueDepth func() float64) *promMetrics {
-	return &promMetrics{
-		queueDepth: queueDepth,
-		// 1 → 4096 cloudlets per flush.
-		batchSize: metrics.NewHistogram(metrics.ExpBuckets(1, 2, 13)),
-		schedSecs: map[string]*metrics.Histogram{},
+func newPromMetrics(shards []*shard) *promMetrics {
+	p := &promMetrics{shards: make([]*shardMetrics, len(shards))}
+	for i, sh := range shards {
+		p.shards[i] = sh.prom
 	}
+	return p
 }
 
-// schedulingHist returns (creating on first use) the scheduling-time
-// histogram for the named scheduler. Buckets span 10µs → ~2.7min.
-func (p *promMetrics) schedulingHist(scheduler string) *metrics.Histogram {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	h, ok := p.schedSecs[scheduler]
-	if !ok {
-		h = metrics.NewHistogram(metrics.ExpBuckets(1e-5, 4, 12))
-		p.schedSecs[scheduler] = h
-	}
-	return h
-}
-
-// observeBatch records one executed batch's figures.
-func (p *promMetrics) observeBatch(rep metrics.Report) {
-	p.batches.Inc()
-	p.batchSize.Observe(float64(rep.Cloudlets))
-	p.schedulingHist(rep.Algorithm).Observe(rep.SchedulingTime.Seconds())
+// observeBatch records one executed batch's figures on its shard and the
+// shared last-batch gauges.
+func (p *promMetrics) observeBatch(sm *shardMetrics, rep metrics.Report, stats metrics.RunStats) {
+	sm.batches.Inc()
+	sm.batchSize.Observe(float64(rep.Cloudlets))
+	sm.schedulingHist(rep.Algorithm).Observe(rep.SchedulingTime.Seconds())
+	sm.mu.Lock()
+	sm.run = sm.run.Merge(stats)
+	sm.mu.Unlock()
 	p.lastSimTime.Set(rep.SimTime)
 	p.lastImbalance.Set(rep.Imbalance)
+}
+
+// sum folds a counter accessor over every shard.
+func (p *promMetrics) sum(f func(*shardMetrics) uint64) uint64 {
+	var total uint64
+	for _, sm := range p.shards {
+		total += f(sm)
+	}
+	return total
+}
+
+func (p *promMetrics) submittedTotal() uint64 {
+	return p.sum(func(m *shardMetrics) uint64 { return m.submitted.Load() })
+}
+func (p *promMetrics) rejectedTotal() uint64 {
+	return p.sum(func(m *shardMetrics) uint64 { return m.rejected.Load() })
+}
+func (p *promMetrics) finishedTotal() uint64 {
+	return p.sum(func(m *shardMetrics) uint64 { return m.finished.Load() })
+}
+func (p *promMetrics) failedTotal() uint64 {
+	return p.sum(func(m *shardMetrics) uint64 { return m.failed.Load() })
+}
+func (p *promMetrics) batchesTotal() uint64 {
+	return p.sum(func(m *shardMetrics) uint64 { return m.batches.Load() })
+}
+func (p *promMetrics) emptyFlushesTotal() uint64 {
+	return p.sum(func(m *shardMetrics) uint64 { return m.emptyFlushes.Load() })
+}
+
+func (p *promMetrics) queueDepthTotal() float64 {
+	var total float64
+	for _, sm := range p.shards {
+		total += sm.queueDepth()
+	}
+	return total
+}
+
+func (p *promMetrics) inflightTotal() int64 {
+	var total int64
+	for _, sm := range p.shards {
+		total += sm.inflight.Load()
+	}
+	return total
+}
+
+// runStatsMerged folds every shard's cumulative aggregate in ascending
+// shard order — the deterministic cross-shard metric reduction.
+func (p *promMetrics) runStatsMerged() metrics.RunStats {
+	var merged metrics.RunStats
+	for _, sm := range p.shards {
+		merged = merged.Merge(sm.runStats())
+	}
+	return merged
+}
+
+// mergedBatchSize merges every shard's batch-size histogram.
+func (p *promMetrics) mergedBatchSize() *metrics.Histogram {
+	merged := metrics.NewHistogram(batchSizeBuckets)
+	for _, sm := range p.shards {
+		merged.Merge(sm.batchSize)
+	}
+	return merged
+}
+
+// mergedSchedSecs merges every shard's per-scheduler scheduling-time
+// histograms, returning scheduler names in sorted order with their merged
+// histograms.
+func (p *promMetrics) mergedSchedSecs() ([]string, []*metrics.Histogram) {
+	nameSet := map[string]bool{}
+	for _, sm := range p.shards {
+		sm.mu.Lock()
+		for name := range sm.schedSecs {
+			nameSet[name] = true
+		}
+		sm.mu.Unlock()
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hists := make([]*metrics.Histogram, len(names))
+	for i, name := range names {
+		merged := metrics.NewHistogram(schedSecsBuckets)
+		for _, sm := range p.shards {
+			sm.mu.Lock()
+			h := sm.schedSecs[name]
+			sm.mu.Unlock()
+			if h != nil {
+				merged.Merge(h)
+			}
+		}
+		hists[i] = merged
+	}
+	return names, hists
 }
 
 func writeHeader(w io.Writer, name, help, typ string) {
@@ -102,47 +234,75 @@ func writeHistogram(w io.Writer, name, labels string, h *metrics.Histogram) {
 
 func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
 
-// WritePrometheus renders every series in text exposition format.
+// writeShardCounter renders one per-shard counter family.
+func (p *promMetrics) writeShardCounter(w io.Writer, name, help string, f func(*shardMetrics) uint64) {
+	writeHeader(w, name, help, "counter")
+	for i, sm := range p.shards {
+		fmt.Fprintf(w, "%s{shard=\"%d\"} %d\n", name, i, f(sm))
+	}
+}
+
+// WritePrometheus renders every series in text exposition format: the
+// merged fleet-wide series first, under the names an unsharded daemon
+// exported, then the per-shard breakdown labelled shard="i".
 func (p *promMetrics) WritePrometheus(w io.Writer) {
 	writeHeader(w, "schedd_submitted_total", "Cloudlets accepted into the queue.", "counter")
-	fmt.Fprintf(w, "schedd_submitted_total %d\n", p.submitted.Load())
+	fmt.Fprintf(w, "schedd_submitted_total %d\n", p.submittedTotal())
 	writeHeader(w, "schedd_rejected_total", "Cloudlets rejected with queue-full backpressure.", "counter")
-	fmt.Fprintf(w, "schedd_rejected_total %d\n", p.rejected.Load())
+	fmt.Fprintf(w, "schedd_rejected_total %d\n", p.rejectedTotal())
 	writeHeader(w, "schedd_finished_total", "Cloudlets executed to completion.", "counter")
-	fmt.Fprintf(w, "schedd_finished_total %d\n", p.finished.Load())
+	fmt.Fprintf(w, "schedd_finished_total %d\n", p.finishedTotal())
 	writeHeader(w, "schedd_failed_total", "Cloudlets whose batch failed to map.", "counter")
-	fmt.Fprintf(w, "schedd_failed_total %d\n", p.failed.Load())
-	writeHeader(w, "schedd_batches_total", "Non-empty batches flushed to the worker pool.", "counter")
-	fmt.Fprintf(w, "schedd_batches_total %d\n", p.batches.Load())
+	fmt.Fprintf(w, "schedd_failed_total %d\n", p.failedTotal())
+	writeHeader(w, "schedd_batches_total", "Non-empty batches flushed to the worker pools.", "counter")
+	fmt.Fprintf(w, "schedd_batches_total %d\n", p.batchesTotal())
 	writeHeader(w, "schedd_empty_flushes_total", "Empty flushes absorbed without error.", "counter")
-	fmt.Fprintf(w, "schedd_empty_flushes_total %d\n", p.emptyFlushes.Load())
+	fmt.Fprintf(w, "schedd_empty_flushes_total %d\n", p.emptyFlushesTotal())
 
-	writeHeader(w, "schedd_queue_depth", "Cloudlets currently held in the admission queue.", "gauge")
-	fmt.Fprintf(w, "schedd_queue_depth %g\n", p.queueDepth())
+	writeHeader(w, "schedd_queue_depth", "Cloudlets currently held in the admission queues.", "gauge")
+	fmt.Fprintf(w, "schedd_queue_depth %g\n", p.queueDepthTotal())
 	writeHeader(w, "schedd_inflight_batches", "Batches currently being mapped or executed.", "gauge")
-	fmt.Fprintf(w, "schedd_inflight_batches %d\n", p.inflight.Load())
+	fmt.Fprintf(w, "schedd_inflight_batches %d\n", p.inflightTotal())
+	writeHeader(w, "schedd_shards", "Shard pipelines the daemon runs.", "gauge")
+	fmt.Fprintf(w, "schedd_shards %d\n", len(p.shards))
 
 	writeHeader(w, "schedd_batch_sim_time_seconds", "Eq. 12 simulation time of the last executed batch.", "gauge")
 	fmt.Fprintf(w, "schedd_batch_sim_time_seconds %g\n", p.lastSimTime.Load())
 	writeHeader(w, "schedd_batch_imbalance", "Eq. 13 degree of imbalance of the last executed batch.", "gauge")
 	fmt.Fprintf(w, "schedd_batch_imbalance %g\n", p.lastImbalance.Load())
 
+	run := p.runStatsMerged()
+	writeHeader(w, "schedd_run_sim_time_seconds", "Eq. 12 over every finished cloudlet, merged across shards.", "gauge")
+	fmt.Fprintf(w, "schedd_run_sim_time_seconds %g\n", float64(run.SimTime()))
+	writeHeader(w, "schedd_run_imbalance", "Eq. 13 over every finished cloudlet, merged across shards.", "gauge")
+	fmt.Fprintf(w, "schedd_run_imbalance %g\n", run.Imbalance())
+
 	writeHeader(w, "schedd_batch_size", "Cloudlets per flushed batch.", "histogram")
-	writeHistogram(w, "schedd_batch_size", "", p.batchSize)
+	writeHistogram(w, "schedd_batch_size", "", p.mergedBatchSize())
 
 	writeHeader(w, "schedd_scheduling_seconds", "Wall-clock scheduling time per batch, by scheduler.", "histogram")
-	p.mu.Lock()
-	names := make([]string, 0, len(p.schedSecs))
-	for name := range p.schedSecs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	hists := make([]*metrics.Histogram, len(names))
-	for i, name := range names {
-		hists[i] = p.schedSecs[name]
-	}
-	p.mu.Unlock()
+	names, hists := p.mergedSchedSecs()
 	for i, name := range names {
 		writeHistogram(w, "schedd_scheduling_seconds", fmt.Sprintf("scheduler=%q", name), hists[i])
+	}
+
+	p.writeShardCounter(w, "schedd_shard_submitted_total", "Cloudlets accepted by each shard.",
+		func(m *shardMetrics) uint64 { return m.submitted.Load() })
+	p.writeShardCounter(w, "schedd_shard_rejected_total", "Cloudlets each shard was due when a request was refused.",
+		func(m *shardMetrics) uint64 { return m.rejected.Load() })
+	p.writeShardCounter(w, "schedd_shard_finished_total", "Cloudlets finished by each shard.",
+		func(m *shardMetrics) uint64 { return m.finished.Load() })
+	p.writeShardCounter(w, "schedd_shard_failed_total", "Cloudlets failed by each shard.",
+		func(m *shardMetrics) uint64 { return m.failed.Load() })
+	p.writeShardCounter(w, "schedd_shard_batches_total", "Non-empty batches flushed by each shard.",
+		func(m *shardMetrics) uint64 { return m.batches.Load() })
+
+	writeHeader(w, "schedd_shard_queue_depth", "Cloudlets held in each shard's admission queue.", "gauge")
+	for i, sm := range p.shards {
+		fmt.Fprintf(w, "schedd_shard_queue_depth{shard=\"%d\"} %g\n", i, sm.queueDepth())
+	}
+	writeHeader(w, "schedd_shard_inflight_batches", "Batches each shard is mapping or executing.", "gauge")
+	for i, sm := range p.shards {
+		fmt.Fprintf(w, "schedd_shard_inflight_batches{shard=\"%d\"} %d\n", i, sm.inflight.Load())
 	}
 }

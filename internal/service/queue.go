@@ -3,22 +3,25 @@ package service
 import (
 	"errors"
 	"sync"
-	"time"
 )
 
-// ErrQueueFull is backpressure: the admission queue cannot take the request
-// without exceeding its bound. The HTTP layer maps it to 429 + Retry-After.
+// ErrQueueFull is backpressure: some shard's admission queue cannot take the
+// request without exceeding its bound. The HTTP layer maps it to 429 +
+// Retry-After. Backpressure is per-shard: a hot shard rejects while others
+// keep accepting, and the dispatcher's route-time charges steer retried
+// traffic toward the shards with headroom.
 var ErrQueueFull = errors.New("service: admission queue full")
 
 // ErrDraining rejects work arriving after shutdown began (HTTP 503).
 var ErrDraining = errors.New("service: draining, not accepting submissions")
 
-// admission is an all-or-nothing counting gate over the queue bound: a
-// multi-cloudlet request either gets slots for every cloudlet or is
-// rejected whole, so a request is never half-accepted. Slots are held from
-// acceptance until the cloudlet's batch is handed to the worker pool, so
-// the bound covers both the channel and the batcher's accumulation buffer:
-// a saturated pool stalls the batcher, the gate fills, and submitters see
+// admission is an all-or-nothing counting gate over one shard's queue
+// bound: a multi-cloudlet request either gets slots for every cloudlet it
+// routes here or contributes to rejecting the request whole, so a request
+// is never half-accepted. Slots are held from acceptance until the
+// cloudlet's batch is handed to the shard's worker pool, so the bound
+// covers both the channel and the batcher's accumulation buffer: a
+// saturated pool stalls the batcher, the gate fills, and submitters see
 // ErrQueueFull. Because used ≥ channel occupancy at all times and the
 // channel's capacity equals the gate's, an acquired send never blocks.
 type admission struct {
@@ -50,57 +53,4 @@ func (a *admission) depth() float64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return float64(a.used)
-}
-
-// batchLoop coalesces pending submissions into batches: a batch flushes
-// when it reaches cfg.BatchSize cloudlets or cfg.FlushInterval after its
-// first cloudlet arrived, whichever comes first. The flush timer is armed
-// only while a partial batch exists, so an idle daemon fires no timers.
-// When the pending channel closes (drain), the loop flushes whatever it
-// holds — possibly an empty batch, which the execution path absorbs via
-// online.ErrEmptyBatch — and closes the batch channel to stop the workers.
-func (s *Service) batchLoop() {
-	defer close(s.batches)
-	var (
-		batch  []*submission
-		timer  *time.Timer
-		timerC <-chan time.Time
-	)
-	stopTimer := func() {
-		if timer != nil {
-			timer.Stop()
-			timer = nil
-			timerC = nil
-		}
-	}
-	flush := func() {
-		stopTimer()
-		out := batch
-		batch = nil
-		s.batches <- out // blocks when workers are saturated: backpressure
-		s.adm.release(len(out))
-	}
-	for {
-		select {
-		case sub, ok := <-s.pending:
-			if !ok {
-				// Drain: flush the remainder unconditionally — empty flushes
-				// exercise the typed-empty-batch path by design.
-				flush()
-				return
-			}
-			batch = append(batch, sub)
-			if len(batch) == 1 {
-				timer = time.NewTimer(s.cfg.FlushInterval)
-				timerC = timer.C
-			}
-			if len(batch) >= s.cfg.BatchSize {
-				flush()
-			}
-		case <-timerC:
-			timer = nil
-			timerC = nil
-			flush()
-		}
-	}
 }

@@ -2,19 +2,13 @@ package service
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"bioschedsim/internal/cloud"
-	"bioschedsim/internal/metrics"
-	"bioschedsim/internal/online"
-	"bioschedsim/internal/sched"
 )
 
 // CloudletSpec is the wire form of one unit of work.
@@ -24,8 +18,8 @@ type CloudletSpec struct {
 	FileSize   float64 `json:"file_size,omitempty"`   // MB
 	OutputSize float64 `json:"output_size,omitempty"` // MB
 	// Deadline is an SLA bound in seconds relative to execution start; the
-	// daemon converts it to the session's absolute simulated clock when the
-	// cloudlet's batch is handed to the broker. 0 means no deadline.
+	// daemon converts it to the owning shard's absolute simulated clock when
+	// the cloudlet's batch is handed to the broker. 0 means no deadline.
 	Deadline float64 `json:"deadline,omitempty"`
 }
 
@@ -54,97 +48,68 @@ func (c CloudletSpec) Validate() error {
 // submission is one accepted cloudlet travelling queue → batcher → worker.
 type submission struct {
 	cloudlet *cloud.Cloudlet
-	deadline float64 // relative seconds; applied on the session clock
+	deadline float64 // relative seconds; applied on the shard's session clock
 }
 
-// Service is the scheduling daemon core: admission gate, coalescing
-// batcher, mapping worker pool, and one persistent online.Session whose
-// broker and simulated clock survive across batches.
+// Service is the scheduling daemon core: a deterministic load-aware
+// dispatcher in front of cfg.Shards independent shard pipelines, each with
+// its own admission gate, coalescing batcher, mapping worker pool, and
+// persistent engine over a contiguous slice of the VM fleet. The status
+// store and cloudlet id space stay global, so clients address cloudlets the
+// same way regardless of which shard ran them.
 type Service struct {
 	cfg  Config
 	env  *cloud.Environment
 	prom *promMetrics
 	stat *statusStore
 
-	adm     *admission
-	pending chan *submission
-	batches chan []*submission
+	shards []*shard
+	disp   *dispatcher
 
-	// closeMu guards pending against send-after-close: Submit sends under
-	// the read lock, Drain closes under the write lock.
+	// closeMu guards every shard's pending channel against send-after-close:
+	// Submit sends under the read lock, Drain closes under the write lock.
 	closeMu   sync.RWMutex
 	accepting atomic.Bool
 	draining  atomic.Bool
 
-	// execMu serializes every touch of the session (placement for online
-	// policies, broker submission, engine runs). Batch mapping runs outside
-	// it, so cfg.Workers schedulers can search concurrently while exactly
-	// one batch executes.
-	execMu  sync.Mutex
-	session *online.Session
-
-	// Batch-mode state: one scheduler instance and rand per worker, since
-	// registry schedulers are not safe for concurrent Schedule calls.
-	mappers []sched.Scheduler
-	rands   []*rand.Rand
-
 	nextID  atomic.Int64
-	batchNo atomic.Int64
+	batchNo atomic.Int64 // flush sequence, global across shards
 	wg      sync.WaitGroup
 }
 
 // New builds and starts a daemon scheduling onto env with cfg. The
-// environment must be validated and is owned by the service from here on.
+// environment must be valid and is owned by the service from here on.
 func New(env *cloud.Environment, cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(len(env.VMs)); err != nil {
 		return nil, err
 	}
-	s := &Service{
-		cfg:     cfg,
-		env:     env,
-		stat:    newStatusStore(cfg.StatusRetention),
-		adm:     &admission{cap: cfg.QueueCap},
-		pending: make(chan *submission, cfg.QueueCap),
-		batches: make(chan []*submission, cfg.Workers),
+	if err := env.Validate(); err != nil {
+		return nil, err
 	}
-	s.prom = newPromMetrics(s.adm.depth)
-
-	var policy online.Scheduler
-	if online.IsPolicy(cfg.Scheduler) {
-		var err error
-		policy, err = online.NewPolicy(cfg.Scheduler, rand.New(rand.NewSource(cfg.Seed)))
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		s.mappers = make([]sched.Scheduler, cfg.Workers)
-		s.rands = make([]*rand.Rand, cfg.Workers)
-		for i := range s.mappers {
-			m, err := sched.New(cfg.Scheduler, sched.WithWorkers(cfg.SchedWorkers))
-			if err != nil {
-				return nil, err
-			}
-			s.mappers[i] = m
-			s.rands[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)))
-		}
-	}
-	session, err := online.NewSession(env, policy, cloud.TimeSharedFactory)
+	ranges, err := cloud.PartitionVMs(env.VMs, cfg.Shards)
 	if err != nil {
 		return nil, err
 	}
-	s.session = session
-	session.OnFinish(func(c *cloud.Cloudlet) {
-		s.stat.finish(c)
-		s.prom.finished.Inc()
-	})
+	s := &Service{
+		cfg:  cfg,
+		env:  env,
+		stat: newStatusStore(cfg.StatusRetention),
+		disp: newDispatcher(cfg.Shards, cfg.Seed),
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i, vms := range ranges {
+		sh, err := newShard(s, i, vms)
+		if err != nil {
+			return nil, err
+		}
+		s.shards[i] = sh
+	}
+	s.prom = newPromMetrics(s.shards)
 
 	s.accepting.Store(true)
-	s.wg.Add(1 + cfg.Workers)
-	go func() { defer s.wg.Done(); s.batchLoop() }()
-	for i := 0; i < cfg.Workers; i++ {
-		i := i
-		go func() { defer s.wg.Done(); s.workerLoop(i) }()
+	for _, sh := range s.shards {
+		sh.start()
 	}
 	return s, nil
 }
@@ -155,7 +120,12 @@ func (s *Service) Scheduler() string { return s.cfg.Scheduler }
 // Config returns the daemon's effective (defaulted) configuration.
 func (s *Service) Config() Config { return s.cfg }
 
-// WriteMetrics renders the Prometheus text surface to w.
+// Shards returns the number of shard pipelines the daemon runs.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// WriteMetrics renders the Prometheus text surface to w: the merged
+// fleet-wide series under their historical names plus per-shard series
+// labelled shard="i".
 func (s *Service) WriteMetrics(w io.Writer) { s.prom.WritePrometheus(w) }
 
 // Status returns cloudlet id's lifecycle record.
@@ -165,9 +135,12 @@ func (s *Service) Status(id int) (StatusRecord, bool) { return s.stat.get(id) }
 func (s *Service) Accepting() bool { return s.accepting.Load() }
 
 // Submit validates and admits a request of one or more cloudlets
-// atomically: either every spec gets a queue slot and an id, or the whole
-// request is rejected (ErrQueueFull under backpressure, ErrDraining after
-// shutdown began, a validation error for malformed specs).
+// atomically: either every spec gets a queue slot on its routed shard and
+// an id, or the whole request is rejected (ErrQueueFull when any target
+// shard lacks room, ErrDraining after shutdown began, a validation error
+// for malformed specs). Routing happens before admission and its load
+// charges are never rolled back, so rejected requests still steer future
+// traffic away from the shard that refused them.
 func (s *Service) Submit(specs []CloudletSpec) ([]int, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("service: empty submission")
@@ -180,15 +153,43 @@ func (s *Service) Submit(specs []CloudletSpec) ([]int, error) {
 	if !s.accepting.Load() {
 		return nil, ErrDraining
 	}
-	if !s.adm.tryAcquire(len(specs)) {
-		s.prom.rejected.Add(uint64(len(specs)))
-		return nil, ErrQueueFull
+
+	target := make([]int, len(specs))
+	counts := make([]int, len(s.shards))
+	for i, spec := range specs {
+		target[i] = s.disp.route(spec.Length)
+		counts[target[i]]++
+	}
+
+	// All-or-nothing across shards: acquire each target shard's slots in
+	// ascending shard order and roll the acquisitions back if any shard is
+	// full, so a multi-spec request never half-lands even when it spans
+	// shards. Rejections are charged to every shard the request targeted.
+	acquired := make([]int, 0, len(s.shards))
+	for idx, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if !s.shards[idx].adm.tryAcquire(n) {
+			for _, a := range acquired {
+				s.shards[a].adm.release(counts[a])
+			}
+			for j, m := range counts {
+				if m > 0 {
+					s.shards[j].prom.rejected.Add(uint64(m))
+				}
+			}
+			return nil, ErrQueueFull
+		}
+		acquired = append(acquired, idx)
 	}
 
 	s.closeMu.RLock()
 	defer s.closeMu.RUnlock()
 	if !s.accepting.Load() { // drain won the race after our acquire
-		s.adm.release(len(specs))
+		for _, a := range acquired {
+			s.shards[a].adm.release(counts[a])
+		}
 		return nil, ErrDraining
 	}
 	ids := make([]int, len(specs))
@@ -200,125 +201,28 @@ func (s *Service) Submit(specs []CloudletSpec) ([]int, error) {
 			pes = 1
 		}
 		c := cloud.NewCloudlet(id, spec.Length, pes, spec.FileSize, spec.OutputSize)
-		s.stat.add(id)
-		s.pending <- &submission{cloudlet: c, deadline: spec.Deadline}
+		sh := s.shards[target[i]]
+		s.stat.add(id, sh.index)
+		sh.pending <- &submission{cloudlet: c, deadline: spec.Deadline}
+		sh.prom.submitted.Inc()
 	}
-	s.prom.submitted.Add(uint64(len(specs)))
 	return ids, nil
 }
 
-// workerLoop maps and executes flushed batches until the batch channel
-// closes.
-func (s *Service) workerLoop(worker int) {
-	for batch := range s.batches {
-		s.runBatch(worker, batch)
-	}
-}
-
-// runBatch drives one flushed batch through mapping and execution, and
-// records its metrics. Empty flushes are absorbed via the typed
-// online.ErrEmptyBatch and counted, never treated as failures.
-func (s *Service) runBatch(worker int, subs []*submission) {
-	s.prom.inflight.Add(1)
-	defer s.prom.inflight.Add(-1)
-
-	cls := make([]*cloud.Cloudlet, len(subs))
-	ids := make([]int, len(subs))
-	for i, sub := range subs {
-		cls[i] = sub.cloudlet
-		ids[i] = sub.cloudlet.ID
-	}
-	batchNo := int(s.batchNo.Add(1))
-	s.stat.scheduling(ids, batchNo)
-
-	finished, schedTime, err := s.mapAndExecute(worker, subs, cls)
-	if err != nil {
-		if errors.Is(err, online.ErrEmptyBatch) {
-			s.prom.emptyFlushes.Inc()
-			return
-		}
-		s.prom.failed.Add(uint64(len(subs)))
-		s.stat.fail(ids, err.Error())
-		return
-	}
-	rep := metrics.Collect(s.cfg.Scheduler, finished, s.env.VMs, schedTime)
-	s.prom.observeBatch(rep)
-}
-
-// mapAndExecute performs the mode-specific mapping step and the serialized
-// execution step, returning the batch's finished cloudlets and the
-// wall-clock scheduling time.
-func (s *Service) mapAndExecute(worker int, subs []*submission, cls []*cloud.Cloudlet) ([]*cloud.Cloudlet, time.Duration, error) {
-	if s.mappers == nil {
-		// Online mode: placement is stateful and must see live residency,
-		// so the whole step runs under the session lock.
-		s.execMu.Lock()
-		defer s.execMu.Unlock()
-		s.applyDeadlines(subs)
-		start := time.Now()
-		if err := s.session.PlaceBatch(cls); err != nil {
-			return nil, 0, err
-		}
-		schedTime := time.Since(start)
-		return s.session.Run(), schedTime, nil
-	}
-
-	// Batch mode: the expensive search runs outside the session lock so
-	// workers overlap; only broker submission and the engine run serialize.
-	if len(cls) == 0 {
-		s.execMu.Lock()
-		defer s.execMu.Unlock()
-		return nil, 0, s.session.PlaceBatch(nil)
-	}
-	ctx := &sched.Context{
-		Cloudlets:   cls,
-		VMs:         append([]*cloud.VM(nil), s.env.VMs...),
-		Datacenters: s.env.Datacenters,
-		Rand:        s.rands[worker],
-	}
-	start := time.Now()
-	assignments, err := s.mappers[worker].Schedule(ctx)
-	if err != nil {
-		return nil, 0, err
-	}
-	if err := sched.ValidateAssignments(ctx, assignments); err != nil {
-		return nil, 0, err
-	}
-	schedTime := time.Since(start)
-
-	s.execMu.Lock()
-	defer s.execMu.Unlock()
-	s.applyDeadlines(subs)
-	for _, a := range assignments {
-		if err := s.session.SubmitPlaced(a.Cloudlet, a.VM); err != nil {
-			return nil, schedTime, err
-		}
-	}
-	return s.session.Run(), schedTime, nil
-}
-
-// applyDeadlines converts relative SLA bounds to the session's absolute
-// simulated clock at hand-off time. Caller holds execMu.
-func (s *Service) applyDeadlines(subs []*submission) {
-	now := s.session.Now()
-	for _, sub := range subs {
-		if sub.deadline > 0 {
-			sub.cloudlet.Deadline = now + sub.deadline
-		}
-	}
-}
-
-// Drain stops admission, flushes the queue (including a final possibly
-// empty batch), waits for every in-flight batch to finish executing, and
-// returns. It is the SIGTERM path: after Drain returns nil, every accepted
-// cloudlet has either finished or been marked failed. ctx bounds the wait.
-// Drain is idempotent; concurrent calls all wait for the same shutdown.
+// Drain stops admission, flushes every shard's queue (including a final
+// possibly empty batch per shard), waits for every in-flight batch to
+// finish executing, and returns. It is the SIGTERM path: after Drain
+// returns nil, every accepted cloudlet has either finished or been marked
+// failed. ctx bounds the wait. Drain is idempotent; concurrent calls all
+// wait for the same shutdown.
 func (s *Service) Drain(ctx context.Context) error {
 	if s.draining.CompareAndSwap(false, true) {
 		s.accepting.Store(false)
-		// Wait out in-flight Submits, then close the intake.
+		// Wait out in-flight Submits, then close every intake.
 		s.closeMu.Lock()
-		close(s.pending)
+		for _, sh := range s.shards {
+			close(sh.pending)
+		}
 		s.closeMu.Unlock()
 	}
 	done := make(chan struct{})

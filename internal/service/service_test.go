@@ -78,10 +78,10 @@ func TestServiceFlushBySize(t *testing.T) {
 			t.Fatalf("cloudlet %d has degenerate record %+v", id, rec)
 		}
 	}
-	if got := svc.prom.batches.Load(); got < 2 {
+	if got := svc.prom.batchesTotal(); got < 2 {
 		t.Fatalf("batches = %d, want ≥ 2", got)
 	}
-	if got := svc.prom.finished.Load(); got != 16 {
+	if got := svc.prom.finishedTotal(); got != 16 {
 		t.Fatalf("finished = %d, want 16", got)
 	}
 }
@@ -103,7 +103,7 @@ func TestServiceFlushByTimer(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	if got := svc.prom.batches.Load(); got != 1 {
+	if got := svc.prom.batchesTotal(); got != 1 {
 		t.Fatalf("batches = %d, want exactly 1 timer flush", got)
 	}
 }
@@ -128,7 +128,7 @@ func TestServiceSubmitValidation(t *testing.T) {
 	if _, err := svc.Submit(nil); err == nil {
 		t.Error("empty submission accepted")
 	}
-	if got := svc.prom.submitted.Load(); got != 0 {
+	if got := svc.prom.submittedTotal(); got != 0 {
 		t.Fatalf("invalid specs counted as submitted: %d", got)
 	}
 }
@@ -155,7 +155,7 @@ func TestServiceOnlinePolicyEndToEnd(t *testing.T) {
 			t.Fatalf("cloudlet %d not finished: %+v", id, rec)
 		}
 	}
-	if got := svc.prom.finished.Load(); got != 40 {
+	if got := svc.prom.finishedTotal(); got != 40 {
 		t.Fatalf("finished = %d, want 40", got)
 	}
 }
@@ -196,10 +196,10 @@ func TestServiceDrainRejectsNewWork(t *testing.T) {
 func TestServiceEmptyFlushOnDrain(t *testing.T) {
 	svc := startService(t, Config{Scheduler: "base"})
 	drain(t, svc) // nothing was ever submitted: the final flush is empty
-	if got := svc.prom.emptyFlushes.Load(); got != 1 {
+	if got := svc.prom.emptyFlushesTotal(); got != 1 {
 		t.Fatalf("empty flushes = %d, want 1", got)
 	}
-	if got := svc.prom.failed.Load(); got != 0 {
+	if got := svc.prom.failedTotal(); got != 0 {
 		t.Fatalf("empty flush misreported as failure: failed = %d", got)
 	}
 }
@@ -215,14 +215,14 @@ func TestServiceBackpressure(t *testing.T) {
 	if _, err := svc.Submit(specN(1)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("want ErrQueueFull, got %v", err)
 	}
-	if got := svc.prom.rejected.Load(); got != 1 {
+	if got := svc.prom.rejectedTotal(); got != 1 {
 		t.Fatalf("rejected = %d, want 1", got)
 	}
 	// All-or-nothing: a multi-spec request never half-lands.
-	if got := svc.prom.submitted.Load(); got != 8 {
+	if got := svc.prom.submittedTotal(); got != 8 {
 		t.Fatalf("submitted = %d, want 8 (no partial acceptance)", got)
 	}
-	if depth := svc.adm.depth(); depth != 8 {
+	if depth := svc.prom.queueDepthTotal(); depth != 8 {
 		t.Fatalf("queue depth = %v, want 8", depth)
 	}
 }
@@ -280,10 +280,10 @@ func TestServiceConcurrentSubmissionsRace(t *testing.T) {
 		}
 		return lost < 10 // don't spam
 	})
-	if got := svc.prom.finished.Load(); got != uint64(accepted.Load()) {
+	if got := svc.prom.finishedTotal(); got != uint64(accepted.Load()) {
 		t.Fatalf("finished %d != accepted %d", got, accepted.Load())
 	}
-	if got := svc.prom.rejected.Load(); got != uint64(rejected.Load()) {
+	if got := svc.prom.rejectedTotal(); got != uint64(rejected.Load()) {
 		t.Fatalf("rejected counter %d != observed %d", got, rejected.Load())
 	}
 	// The metrics surface reports the scheduling-time histogram.
@@ -321,7 +321,7 @@ func TestServiceBioInspiredSchedulerBatches(t *testing.T) {
 func TestStatusStoreRetention(t *testing.T) {
 	st := newStatusStore(2)
 	for id := 1; id <= 4; id++ {
-		st.add(id)
+		st.add(id, 0)
 		c := cloud.NewCloudlet(id, 100, 1, 0, 0)
 		st.finish(c) // VM nil: state still transitions
 	}

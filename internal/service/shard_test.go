@@ -1,0 +1,252 @@
+package service
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDispatcherDeterministicLeastWork(t *testing.T) {
+	// Same seed, same length stream → identical routing decisions.
+	a, b := newDispatcher(4, 99), newDispatcher(4, 99)
+	lengths := []float64{5, 1, 1, 7, 2, 2, 2, 9, 1, 3}
+	for i, l := range lengths {
+		if ra, rb := a.route(l), b.route(l); ra != rb {
+			t.Fatalf("decision %d diverged: %d vs %d", i, ra, rb)
+		}
+	}
+
+	// Least outstanding work: after a heavy cloudlet lands on one shard,
+	// light ones flow to the other until it catches up.
+	d := newDispatcher(2, 7)
+	heavy := d.route(100)
+	for i := 0; i < 50; i++ {
+		if got := d.route(1); got == heavy {
+			t.Fatalf("light cloudlet %d routed to the heavy shard", i)
+		}
+	}
+
+	// Equal lengths spread exactly evenly: balanced filling.
+	d = newDispatcher(4, 3)
+	counts := make([]int, 4)
+	for i := 0; i < 100; i++ {
+		counts[d.route(1)]++
+	}
+	for i, n := range counts {
+		if n != 25 {
+			t.Fatalf("shard %d got %d of 100 equal-length cloudlets: %v", i, n, counts)
+		}
+	}
+}
+
+func TestConfigValidateSinglePath(t *testing.T) {
+	bad := map[string]Config{
+		"no scheduler":      {},
+		"unknown scheduler": {Scheduler: "no-such-alg", Shards: 1, Workers: 1, SchedWorkers: 1},
+		"zero shards":       {Scheduler: "base", Shards: 0, Workers: 1, SchedWorkers: 1},
+		"negative shards":   {Scheduler: "base", Shards: -2, Workers: 1, SchedWorkers: 1},
+		"shards over fleet": {Scheduler: "base", Shards: 9, Workers: 1, SchedWorkers: 1},
+		"oversubscribed": {Scheduler: "base", Shards: 4, Workers: 4,
+			SchedWorkers: 16 * runtime.GOMAXPROCS(0)},
+	}
+	for name, cfg := range bad {
+		if err := cfg.Validate(8); err == nil {
+			t.Errorf("%s: accepted by Validate: %+v", name, cfg)
+		}
+	}
+	ok := Config{Scheduler: "base", Shards: 4, Workers: 2, SchedWorkers: 1}
+	if err := ok.Validate(8); err != nil {
+		t.Fatalf("valid sharded config rejected: %v", err)
+	}
+
+	// New funnels through the same path: a negative -shards value must be
+	// rejected, not silently defaulted.
+	if _, err := New(testEnv(t, 8, 1), Config{Scheduler: "base", Shards: -1}); err == nil {
+		t.Fatal("New accepted negative Shards")
+	}
+	if _, err := New(testEnv(t, 4, 1), Config{Scheduler: "base", Shards: 5}); err == nil {
+		t.Fatal("New accepted more shards than VMs")
+	}
+}
+
+func TestServiceShardedEndToEnd(t *testing.T) {
+	svc := startService(t, Config{Scheduler: "base", Shards: 2, BatchSize: 8, FlushInterval: 2 * time.Millisecond})
+	ids, err := svc.Submit(specN(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, svc)
+
+	served := make(map[int]int)
+	for _, id := range ids {
+		rec, ok := svc.Status(id)
+		if !ok || rec.State != StateFinished {
+			t.Fatalf("cloudlet %d: %+v ok=%v", id, rec, ok)
+		}
+		if rec.Shard < 0 || rec.Shard >= 2 {
+			t.Fatalf("cloudlet %d on impossible shard %d", id, rec.Shard)
+		}
+		served[rec.Shard]++
+		// The cloudlet must have executed on a VM its shard owns: VM identity
+		// is preserved across the partition, never renumbered.
+		owned := false
+		for _, vm := range svc.shards[rec.Shard].vms {
+			if vm.ID == rec.VM {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			t.Fatalf("cloudlet %d reports VM %d outside shard %d's range", id, rec.VM, rec.Shard)
+		}
+	}
+	if len(served) != 2 {
+		t.Fatalf("only shards %v served work; the dispatcher should spread 60 equal-ish cloudlets", served)
+	}
+	if got := svc.prom.finishedTotal(); got != 60 {
+		t.Fatalf("merged finished = %d, want 60", got)
+	}
+
+	var sb strings.Builder
+	svc.WriteMetrics(&sb)
+	out := sb.String()
+	for _, series := range []string{
+		"schedd_finished_total 60",
+		"schedd_shards 2",
+		`schedd_shard_finished_total{shard="0"}`,
+		`schedd_shard_finished_total{shard="1"}`,
+		`schedd_shard_queue_depth{shard="1"} 0`,
+		"schedd_run_sim_time_seconds",
+		"schedd_run_imbalance",
+		`schedd_scheduling_seconds_count{scheduler="base"}`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("sharded metrics output missing %q", series)
+		}
+	}
+}
+
+func TestServiceShardedPerShardBackpressure(t *testing.T) {
+	// Batches never flush, so admission slots are held forever and each
+	// shard's gate (cap 4) fills independently.
+	svc := startService(t, Config{
+		Scheduler: "base", Shards: 2,
+		BatchSize: 1 << 20, FlushInterval: time.Hour, QueueCap: 4,
+	})
+	// The heavy cloudlet claims one shard; every light cloudlet after it
+	// routes to the other, least-loaded shard.
+	heavyIDs, err := svc.Submit([]CloudletSpec{{Length: 1e12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavyRec, _ := svc.Status(heavyIDs[0])
+	light := 1 - heavyRec.Shard
+	for i := 0; i < 4; i++ {
+		ids, err := svc.Submit([]CloudletSpec{{Length: 1}})
+		if err != nil {
+			t.Fatalf("light cloudlet %d: %v", i, err)
+		}
+		if rec, _ := svc.Status(ids[0]); rec.Shard != light {
+			t.Fatalf("light cloudlet %d routed to shard %d, want %d", i, rec.Shard, light)
+		}
+	}
+	// Five cloudlets admitted against a per-shard cap of 4 — impossible
+	// under a global gate — and the next light one is refused even though
+	// the heavy shard still has three free slots: backpressure is a
+	// per-shard signal, with no spillover.
+	if _, err := svc.Submit([]CloudletSpec{{Length: 1}}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull from the saturated shard, got %v", err)
+	}
+	if got := svc.shards[light].adm.depth(); got != 4 {
+		t.Fatalf("light shard depth %v, want 4", got)
+	}
+	if got := svc.shards[heavyRec.Shard].adm.depth(); got != 1 {
+		t.Fatalf("heavy shard depth %v, want 1", got)
+	}
+	if got := svc.shards[light].prom.rejected.Load(); got != 1 {
+		t.Fatalf("saturated shard rejected %d, want 1", got)
+	}
+	if got := svc.shards[heavyRec.Shard].prom.rejected.Load(); got != 0 {
+		t.Fatalf("unsaturated shard charged with a rejection: %d", got)
+	}
+}
+
+// TestServiceShardedConcurrentRace is the sharded acceptance gate, run
+// under -race in verify.sh: concurrent submissions across 4 shards, every
+// one either accepted-and-finished or rejected with queue-full, and drain
+// completes all in-flight work on every shard.
+func TestServiceShardedConcurrentRace(t *testing.T) {
+	svc := startService(t, Config{
+		Scheduler: "base", Shards: 4,
+		BatchSize: 16, FlushInterval: 2 * time.Millisecond,
+		QueueCap: 64, Workers: 2,
+	})
+	const submitters = 800
+	var accepted, rejected atomic.Int64
+	var acceptedIDs sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids, err := svc.Submit([]CloudletSpec{{Length: 500 + float64(i%9)*100}})
+			switch {
+			case err == nil:
+				accepted.Add(1)
+				acceptedIDs.Store(ids[0], struct{}{})
+			case errors.Is(err, ErrQueueFull):
+				rejected.Add(1)
+			default:
+				t.Errorf("submitter %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if accepted.Load()+rejected.Load() != submitters {
+		t.Fatalf("accounting hole: %d + %d != %d", accepted.Load(), rejected.Load(), submitters)
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("nothing was accepted")
+	}
+
+	drain(t, svc)
+
+	acceptedIDs.Range(func(k, _ any) bool {
+		rec, ok := svc.Status(k.(int))
+		if !ok || rec.State != StateFinished {
+			t.Errorf("cloudlet %v lost after drain: %+v (ok=%v)", k, rec, ok)
+			return false
+		}
+		return true
+	})
+	if got := svc.prom.finishedTotal(); got != uint64(accepted.Load()) {
+		t.Fatalf("merged finished %d != accepted %d", got, accepted.Load())
+	}
+	// Drain flushed each of the 4 shards exactly once at close; idle shards
+	// absorb theirs as typed empty batches.
+	if got := svc.prom.failedTotal(); got != 0 {
+		t.Fatalf("failed = %d, want 0", got)
+	}
+}
+
+func TestServiceShardedOnlinePolicy(t *testing.T) {
+	svc := startService(t, Config{Scheduler: "online-eft", Shards: 2, BatchSize: 8, FlushInterval: 2 * time.Millisecond})
+	ids, err := svc.Submit(specN(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, svc)
+	for _, id := range ids {
+		rec, _ := svc.Status(id)
+		if rec.State != StateFinished {
+			t.Fatalf("cloudlet %d not finished under sharded online policy: %+v", id, rec)
+		}
+	}
+	if got := svc.prom.finishedTotal(); got != 30 {
+		t.Fatalf("finished = %d, want 30", got)
+	}
+}

@@ -18,6 +18,7 @@ const (
 type StatusRecord struct {
 	ID    int    `json:"id"`
 	State string `json:"state"`
+	Shard int    `json:"shard"`           // shard the dispatcher routed the cloudlet to
 	Batch int    `json:"batch,omitempty"` // flush sequence number, once scheduled
 	VM    int    `json:"vm"`              // assigned VM id, -1 until execution
 	// Simulated-seconds timeline on the session's monotonic clock.
@@ -42,10 +43,10 @@ func newStatusStore(retention int) *statusStore {
 	return &statusStore{records: make(map[int]*StatusRecord), retention: retention}
 }
 
-// add registers a freshly accepted cloudlet as queued.
-func (s *statusStore) add(id int) {
+// add registers a freshly accepted cloudlet as queued on its routed shard.
+func (s *statusStore) add(id, shard int) {
 	s.mu.Lock()
-	s.records[id] = &StatusRecord{ID: id, State: StateQueued, VM: -1}
+	s.records[id] = &StatusRecord{ID: id, State: StateQueued, Shard: shard, VM: -1}
 	s.mu.Unlock()
 }
 

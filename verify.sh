@@ -3,10 +3,12 @@
 # (schedlint), full test suite with coverage floors on the objective and
 # scheduling layers, the property-checking campaign (schedcheck) over every
 # registered scheduler — including the worker-invariance suite for the
-# parallel mapping kernels — a full-module race pass plus an explicit
-# parallel-kernel race gate (aco/hbo/rbs/ga/objective), and a short fuzz
-# smoke over the two untrusted-input boundaries (the daemon's JSON submit
-# decoder and the workload trace parser).
+# parallel mapping kernels and the shard-count invariance of the merged
+# Eq. 12/13 metrics — a full-module race pass plus explicit race gates for
+# the parallel kernels (aco/hbo/rbs/ga/objective) and the sharded daemon
+# (internal/service at 2/4 shards), and a short fuzz smoke over the two
+# untrusted-input boundaries (the daemon's JSON submit decoder and the
+# workload trace parser).
 #
 # Targets:
 #   verify.sh              full gate (default)
@@ -66,10 +68,19 @@ awk '
 # in {1, 2, GOMAXPROCS} with bit-identical assignments required.
 go run ./cmd/schedcheck -quick
 
+# Shard-count invariance, explicit: the merged Eq. 12/13 metrics must be
+# bit-identical at 1/2/4 shards, the seeded plant must be caught, and burst
+# arrivals must stay covered (the -quick campaign above also runs the
+# invariant on every scenario, but a named gate fails loudly on its own).
+go test -run 'TestShardInvariance' ./internal/check
+
 go test -race ./...
 # Explicit race gate over the parallel mapping kernels: the invariance and
 # stress tests drive multi-worker pools even on single-core CI hosts.
 go test -race -run 'WorkerCountInvariant|ConcurrentScheduleRace' ./internal/aco ./internal/hbo ./internal/rbs ./internal/ga ./internal/objective
+# Explicit race gate over the sharded daemon: concurrent submitters across
+# 4 shards, per-shard backpressure, and the HTTP round-trips under -race.
+go test -race -run 'TestServiceSharded|TestHTTPSharded' ./internal/service
 
 go test -run='^$' -fuzz=FuzzDecodeSubmit -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/workload
