@@ -51,6 +51,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "gentrace":
 		err = cmdGenTrace(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -95,11 +97,16 @@ Commands:
       -runs N         seed replications (default 8)
       -scale F        problem-size multiplier (default: per-figure)
       -seed N         root seed (default 42)
-  gentrace [flags]         write a synthetic workload trace CSV
-      -n N -rate R -out PATH -deadline-slack S
-  replay -trace PATH       replay a trace through an online policy
+  gentrace [flags]         write a synthetic workload trace (CSV, or the
+                           columnar binary format with -columnar)
+      -n N -rate R -out PATH -deadline-slack S -columnar -compress
+  trace convert [flags]    convert a trace between CSV and the columnar
+                           binary format (direction sniffed from -in)
+      -in PATH -out PATH -block-rows N -compress -readers K
+  replay -trace PATH       replay a trace (CSV or columnar, sniffed by
+                           magic bytes) through an online policy
       -policy P       online-rr|least|eft|aco|hbo|rbs (default online-eft)
-      -vms N -dcs N -seed N
+      -vms N -dcs N -seed N -readers K
 `)
 }
 

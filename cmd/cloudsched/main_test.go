@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -133,5 +135,84 @@ func TestCmdValidate(t *testing.T) {
 	}
 	if err := cmdValidate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCmdTraceConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := dir + "/t.csv"
+	colPath := dir + "/t.col"
+	backPath := dir + "/t2.csv"
+	if err := cmdGenTrace([]string{"-n", "300", "-rate", "6", "-deadline-slack", "4", "-vms", "10", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrace([]string{"convert", "-in", csvPath, "-out", colPath, "-block-rows", "64", "-compress"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrace([]string{"convert", "-in", colPath, "-out", backPath}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(backPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("csv -> columnar -> csv changed the canonical bytes")
+	}
+	// Both formats replay identically through the sniffing loader.
+	fromCSV, err := readTraceFile(csvPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCol, err := readTraceFile(colPath, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromCSV) != 300 || len(fromCol) != 300 {
+		t.Fatalf("loaded %d and %d entries, want 300", len(fromCSV), len(fromCol))
+	}
+	for i := range fromCSV {
+		if fromCSV[i].Cloudlet.ID != fromCol[i].Cloudlet.ID ||
+			fromCSV[i].Arrival != fromCol[i].Arrival ||
+			fromCSV[i].Cloudlet.Deadline != fromCol[i].Cloudlet.Deadline {
+			t.Fatalf("entry %d differs between formats", i)
+		}
+	}
+}
+
+func TestCmdTraceErrors(t *testing.T) {
+	if err := cmdTrace(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := cmdTrace([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := cmdTrace([]string{"convert"}); err == nil {
+		t.Error("convert without -in/-out accepted")
+	}
+	if err := cmdTrace([]string{"convert", "-in", "/nonexistent", "-out", "/tmp/x"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestCmdGenTraceColumnar(t *testing.T) {
+	dir := t.TempDir()
+	colPath := dir + "/gen.col"
+	if err := cmdGenTrace([]string{"-n", "100", "-columnar", "-compress", "-out", colPath}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readTraceFile(colPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 100 {
+		t.Fatalf("generated %d entries, want 100", len(entries))
+	}
+	if err := cmdGenTrace([]string{"-n", "10", "-columnar"}); err == nil {
+		t.Error("-columnar without -out accepted")
 	}
 }

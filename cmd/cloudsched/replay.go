@@ -10,6 +10,7 @@ import (
 	"bioschedsim/internal/cloud"
 	"bioschedsim/internal/metrics"
 	"bioschedsim/internal/online"
+	"bioschedsim/internal/tracecol"
 	"bioschedsim/internal/workload"
 )
 
@@ -21,23 +22,19 @@ func onlinePolicy(name string, seed int64) (online.Scheduler, error) {
 // cmdReplay replays a workload trace file through an online policy.
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	tracePath := fs.String("trace", "", "workload trace CSV (see 'cloudsched gentrace')")
+	tracePath := fs.String("trace", "", "workload trace, CSV or columnar (see 'cloudsched gentrace' and 'cloudsched trace convert'); format sniffed by magic bytes")
 	policyName := fs.String("policy", "online-eft", "per-arrival scheduling policy")
 	vms := fs.Int("vms", 50, "fleet size")
 	dcs := fs.Int("dcs", 4, "datacenters")
 	seed := fs.Uint64("seed", 42, "root random seed")
+	readers := fs.Int("readers", 0, "columnar decode pool (0 = GOMAXPROCS); entries identical at every setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tracePath == "" {
 		return fmt.Errorf("replay: -trace is required")
 	}
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	entries, err := workload.ReadTrace(f)
+	entries, err := readTraceFile(*tracePath, *readers)
 	if err != nil {
 		return err
 	}
@@ -77,8 +74,13 @@ func cmdGenTrace(args []string) error {
 	seed := fs.Uint64("seed", 42, "root random seed")
 	slack := fs.Float64("deadline-slack", 0, "assign deadlines at this slack (0 = none)")
 	vms := fs.Int("vms", 50, "fleet size used to derive deadlines")
+	columnar := fs.Bool("columnar", false, "write the columnar binary format instead of CSV (requires -out)")
+	compress := fs.Bool("compress", false, "flate-compress columnar blocks (with -columnar)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *columnar && *out == "" {
+		return fmt.Errorf("gentrace: -columnar requires -out (binary traces don't go to a terminal)")
 	}
 	entries, err := workload.SyntheticTrace(workload.HeterogeneousCloudletSpec(), *n, *rate, *seed)
 	if err != nil {
@@ -105,7 +107,15 @@ func cmdGenTrace(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := workload.WriteTrace(w, entries); err != nil {
+	if *columnar {
+		opts := tracecol.WriteOptions{}
+		if *compress {
+			opts.Compression = tracecol.CompressFlate
+		}
+		if err := tracecol.Write(w, entries, opts); err != nil {
+			return err
+		}
+	} else if err := workload.WriteTrace(w, entries); err != nil {
 		return err
 	}
 	if *out != "" {

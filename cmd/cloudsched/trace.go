@@ -1,0 +1,97 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bioschedsim/internal/tracecol"
+	"bioschedsim/internal/workload"
+)
+
+// cmdTrace dispatches the trace toolbox subcommands.
+func cmdTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("trace: subcommand expected (convert)")
+	}
+	switch args[0] {
+	case "convert":
+		return cmdTraceConvert(args[1:])
+	default:
+		return fmt.Errorf("trace: unknown subcommand %q (want convert)", args[0])
+	}
+}
+
+// cmdTraceConvert converts a trace between the CSV and columnar binary
+// formats, auto-detecting the input format by its magic bytes: a columnar
+// input comes back out as CSV, anything else is parsed as CSV and written
+// columnar.
+func cmdTraceConvert(args []string) error {
+	fs := flag.NewFlagSet("trace convert", flag.ExitOnError)
+	in := fs.String("in", "", "input trace (CSV or columnar; format sniffed)")
+	out := fs.String("out", "", "output path")
+	blockRows := fs.Int("block-rows", tracecol.DefaultBlockRows, "rows per columnar block (text→columnar)")
+	compress := fs.Bool("compress", false, "flate-compress columnar blocks (text→columnar)")
+	readers := fs.Int("readers", 0, "decode pool for columnar input (0 = GOMAXPROCS); results identical at every setting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		return fmt.Errorf("trace convert: -in and -out are required")
+	}
+	prefix := make([]byte, 8)
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	n, _ := f.Read(prefix)
+	f.Close()
+	toText := tracecol.IsColumnar(prefix[:n])
+
+	dst, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+
+	var rows int
+	if toText {
+		p, err := tracecol.OpenFile(*in)
+		if err != nil {
+			dst.Close()
+			return err
+		}
+		defer p.Close()
+		rows, err = tracecol.ConvertColumnarToText(p, dst, tracecol.ReadOptions{Readers: *readers})
+		if err != nil {
+			dst.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "converted %s (columnar, %d blocks) -> %s (csv): %d rows\n",
+			*in, len(p.Index().Blocks), *out, rows)
+	} else {
+		src, err := os.Open(*in)
+		if err != nil {
+			dst.Close()
+			return err
+		}
+		defer src.Close()
+		opts := tracecol.WriteOptions{BlockRows: *blockRows}
+		if *compress {
+			opts.Compression = tracecol.CompressFlate
+		}
+		rows, err = tracecol.ConvertTextToColumnar(src, dst, opts)
+		if err != nil {
+			dst.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "converted %s (csv) -> %s (columnar, %d rows/block, compress=%v): %d rows\n",
+			*in, *out, opts.BlockRows, *compress, rows)
+	}
+	return dst.Close()
+}
+
+// readTraceFile loads a trace in either format for replay, sniffing the
+// columnar magic bytes.
+func readTraceFile(path string, readers int) ([]workload.TraceEntry, error) {
+	return tracecol.ReadFileAuto(path, readers)
+}

@@ -23,6 +23,7 @@ var deterministicPkgs = []string{
 	"internal/objective",
 	"internal/online",
 	"internal/workload",
+	"internal/tracecol",
 	"internal/cloud",
 	"internal/check",
 	"internal/schedtest",

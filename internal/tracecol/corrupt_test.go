@@ -1,0 +1,149 @@
+package tracecol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// validFile builds a small multi-block columnar trace to corrupt.
+func validFile(t *testing.T, comp byte) []byte {
+	t.Helper()
+	entries := genEntries(t, 300, 21)
+	var buf bytes.Buffer
+	if err := Write(&buf, entries, WriteOptions{BlockRows: 50, Compression: comp}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mustFail asserts that data is rejected — at open or at read — with an
+// error mentioning wantSub, and that nothing panics or silently truncates.
+func mustFail(t *testing.T, data []byte, wantSub, label string) {
+	t.Helper()
+	p, err := OpenBytes(data)
+	if err == nil {
+		_, err = ReadAll(p, ReadOptions{})
+	}
+	if err == nil {
+		t.Fatalf("%s: corrupted file accepted", label)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("%s: error %q does not mention %q", label, err, wantSub)
+	}
+}
+
+func TestCorruptTruncatedFile(t *testing.T) {
+	data := validFile(t, CompressNone)
+	for _, n := range []int{0, 4, len(Magic), len(data) / 2, len(data) - 1} {
+		if _, err := OpenBytes(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Truncating into the trailer must name the trailer or geometry, and a
+	// mid-file cut loses the footer entirely.
+	mustFail(t, data[:len(data)-1], "magic", "cut trailer")
+}
+
+func TestCorruptBadMagic(t *testing.T) {
+	data := validFile(t, CompressNone)
+	bad := append([]byte{}, data...)
+	bad[0] = 'X'
+	mustFail(t, bad, "magic", "header magic")
+
+	bad = append([]byte{}, data...)
+	bad[len(bad)-1] ^= 0xFF
+	mustFail(t, bad, "magic", "trailer magic")
+
+	// A CSV trace handed to the columnar opener is a magic error, not a
+	// panic or a misparse.
+	mustFail(t, []byte("id,length_mi,pes,filesize_mb,outputsize_mb,arrival_s\n1,250,1,300,300,0\n"+strings.Repeat("x", 40)), "magic", "csv as columnar")
+}
+
+// rewriteFooter decodes the footer span of a valid file, lets mut edit the
+// index, and re-encodes with a consistent CRC — so the corruption under
+// test is the *index contents*, not a checksum failure.
+func rewriteFooter(t *testing.T, data []byte, mut func(*Index)) []byte {
+	t.Helper()
+	trailer := data[len(data)-trailerLen:]
+	footerLen := int64(binary.LittleEndian.Uint64(trailer))
+	footerStart := int64(len(data)) - trailerLen - footerLen
+	ix, err := decodeFooter(data[footerStart:footerStart+footerLen], footerStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut(ix)
+	footer := encodeFooter(ix)
+	out := append([]byte{}, data[:footerStart]...)
+	out = append(out, footer...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(footer)))
+	out = binary.LittleEndian.AppendUint32(out, crcOf(footer))
+	return append(out, Magic[:]...)
+}
+
+func TestCorruptIndexPastEOF(t *testing.T) {
+	data := validFile(t, CompressNone)
+	bad := rewriteFooter(t, data, func(ix *Index) {
+		ix.Blocks[2].Offset = int64(len(data)) * 4
+	})
+	mustFail(t, bad, "outside the data section", "offset past EOF")
+
+	bad = rewriteFooter(t, data, func(ix *Index) {
+		ix.Blocks[1].StoredLen += int64(len(data))
+		ix.Blocks[1].RawLen = ix.Blocks[1].StoredLen
+	})
+	mustFail(t, bad, "outside the data section", "length past EOF")
+}
+
+func TestCorruptBlockChecksum(t *testing.T) {
+	for _, comp := range []byte{CompressNone, CompressFlate} {
+		data := validFile(t, comp)
+		p, err := OpenBytes(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Flip one byte in the middle of block 1's stored bytes.
+		info := p.Index().Blocks[1]
+		bad := append([]byte{}, data...)
+		bad[info.Offset+info.StoredLen/2] ^= 0x40
+		mustFail(t, bad, "checksum mismatch", "block checksum")
+	}
+}
+
+func TestCorruptFooterChecksum(t *testing.T) {
+	data := validFile(t, CompressNone)
+	// Flip a byte inside the footer (just before the trailer) without
+	// updating the trailer CRC.
+	bad := append([]byte{}, data...)
+	bad[len(bad)-trailerLen-2] ^= 0x01
+	mustFail(t, bad, "checksum mismatch", "footer checksum")
+}
+
+func TestCorruptRowCountMismatch(t *testing.T) {
+	data := validFile(t, CompressNone)
+	// Claim one fewer row in block 0's index entry than the block encodes.
+	// The block's own CRC still matches (the stored bytes are untouched),
+	// so this must be caught by the decoded-vs-index row comparison.
+	bad := rewriteFooter(t, data, func(ix *Index) {
+		ix.Blocks[0].Rows--
+		ix.TotalRows--
+	})
+	mustFail(t, bad, "disagrees with index row count", "row count mismatch")
+}
+
+func TestCorruptNeverSilentlyTruncates(t *testing.T) {
+	// Chop every suffix length off a valid file: each must be rejected,
+	// never parsed into a shorter trace.
+	data := validFile(t, CompressFlate)
+	for n := len(data) - 1; n >= 0; n -= 97 {
+		p, err := OpenBytes(data[:n])
+		if err != nil {
+			continue
+		}
+		entries, err := ReadAll(p, ReadOptions{})
+		if err == nil && len(entries) != 300 {
+			t.Fatalf("truncation to %d bytes silently produced %d entries", n, len(entries))
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package tracecol
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"bioschedsim/internal/workload"
+)
+
+// WriteOptions configure a Writer.
+type WriteOptions struct {
+	// BlockRows is the number of rows per block; 0 means DefaultBlockRows.
+	BlockRows int
+	// Compression is CompressNone or CompressFlate (applied per block,
+	// chosen once at write time and recorded in the footer).
+	Compression byte
+}
+
+func (o WriteOptions) blockRows() int {
+	if o.BlockRows <= 0 {
+		return DefaultBlockRows
+	}
+	return o.BlockRows
+}
+
+// Writer streams trace entries into the columnar format, buffering one
+// block at a time so a 1M-row trace never needs to be columnarized in
+// memory at once. Entries are validated on the way in with the same rules
+// the text parser enforces, so every file a Writer produces decodes.
+type Writer struct {
+	w      io.Writer
+	opts   WriteOptions
+	offset int64 // bytes written so far
+	rows   int   // rows buffered in the pending block
+	index  Index
+
+	// pending column buffers for the current block
+	prevID   int64
+	ids      []byte // zigzag-varint deltas
+	pes      []byte // uvarints
+	lengths  []byte // raw float64 bits
+	files    []byte
+	outputs  []byte
+	arrivals []byte
+	deads    []byte
+	minArr   float64
+	maxArr   float64
+
+	closed bool
+}
+
+// NewWriter begins a columnar trace stream on w. Call Add for every entry,
+// then Close to flush the last block and the footer index.
+func NewWriter(w io.Writer, opts WriteOptions) (*Writer, error) {
+	if opts.Compression != CompressNone && opts.Compression != CompressFlate {
+		return nil, fmt.Errorf("tracecol: unknown compression code %d", opts.Compression)
+	}
+	cw := &Writer{w: w, opts: opts}
+	cw.index.Compression = opts.Compression
+	if _, err := w.Write(Magic[:]); err != nil {
+		return nil, err
+	}
+	cw.offset = int64(len(Magic))
+	return cw, nil
+}
+
+// Add validates and buffers one entry, flushing a block when it fills.
+func (cw *Writer) Add(e workload.TraceEntry) error {
+	if cw.closed {
+		return fmt.Errorf("tracecol: Add after Close")
+	}
+	c := e.Cloudlet
+	if c == nil {
+		return fmt.Errorf("tracecol: row %d: nil cloudlet", cw.index.TotalRows+cw.rows)
+	}
+	if err := validateRow(cw.index.TotalRows+cw.rows, c.ID, c.Length, c.PEs, c.FileSize, c.OutputSize, e.Arrival, c.Deadline); err != nil {
+		return err
+	}
+	delta := int64(c.ID) - cw.prevID
+	cw.prevID = int64(c.ID)
+	cw.ids = binary.AppendUvarint(cw.ids, zigzag(delta))
+	cw.pes = binary.AppendUvarint(cw.pes, uint64(c.PEs))
+	cw.lengths = appendFloat(cw.lengths, c.Length)
+	cw.files = appendFloat(cw.files, c.FileSize)
+	cw.outputs = appendFloat(cw.outputs, c.OutputSize)
+	cw.arrivals = appendFloat(cw.arrivals, e.Arrival)
+	cw.deads = appendFloat(cw.deads, c.Deadline)
+	if cw.rows == 0 || e.Arrival < cw.minArr {
+		cw.minArr = e.Arrival
+	}
+	if cw.rows == 0 || e.Arrival > cw.maxArr {
+		cw.maxArr = e.Arrival
+	}
+	cw.rows++
+	if cw.rows >= cw.opts.blockRows() {
+		return cw.flushBlock()
+	}
+	return nil
+}
+
+// validateRow is the shared write/read gate: the block level enforces
+// exactly what workload.ReadTrace enforces per CSV row.
+func validateRow(row, id int, length float64, pes int, fileSize, outputSize, arrival, deadline float64) error {
+	for _, v := range [...]float64{length, fileSize, outputSize, arrival, deadline} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("tracecol: row %d: non-finite value %v", row, v)
+		}
+	}
+	_ = id // any int is a valid id; it round-trips exactly via zigzag varint
+	if length <= 0 || pes <= 0 {
+		return fmt.Errorf("tracecol: row %d: non-positive length or pes", row)
+	}
+	if arrival < 0 {
+		return fmt.Errorf("tracecol: row %d: negative arrival", row)
+	}
+	if deadline < 0 {
+		return fmt.Errorf("tracecol: row %d: negative deadline", row)
+	}
+	return nil
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// flushBlock encodes, optionally compresses, and writes the pending block,
+// appending its index entry.
+func (cw *Writer) flushBlock() error {
+	if cw.rows == 0 {
+		return nil
+	}
+	raw := make([]byte, 0, 16+len(cw.ids)+len(cw.pes)+5*8*cw.rows+7*4)
+	raw = binary.AppendUvarint(raw, uint64(cw.rows))
+	for _, col := range [][]byte{cw.ids, cw.lengths, cw.pes, cw.files, cw.outputs, cw.arrivals, cw.deads} {
+		raw = binary.AppendUvarint(raw, uint64(len(col)))
+		raw = append(raw, col...)
+	}
+	stored := raw
+	if cw.opts.Compression == CompressFlate {
+		var buf bytes.Buffer
+		fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		if _, err := fw.Write(raw); err != nil {
+			return err
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		stored = buf.Bytes()
+	}
+	if _, err := cw.w.Write(stored); err != nil {
+		return err
+	}
+	cw.index.Blocks = append(cw.index.Blocks, BlockInfo{
+		Offset:     cw.offset,
+		StoredLen:  int64(len(stored)),
+		RawLen:     int64(len(raw)),
+		Rows:       cw.rows,
+		CRC:        crcOf(stored),
+		MinArrival: cw.minArr,
+		MaxArrival: cw.maxArr,
+	})
+	cw.offset += int64(len(stored))
+	cw.index.TotalRows += cw.rows
+	cw.rows = 0
+	// Each block's id deltas start from 0 so blocks decode independently —
+	// a worker must never need the previous block's last id.
+	cw.prevID = 0
+	cw.ids = cw.ids[:0]
+	cw.pes = cw.pes[:0]
+	cw.lengths = cw.lengths[:0]
+	cw.files = cw.files[:0]
+	cw.outputs = cw.outputs[:0]
+	cw.arrivals = cw.arrivals[:0]
+	cw.deads = cw.deads[:0]
+	return nil
+}
+
+// Close flushes the final partial block and writes the footer + trailer.
+// An empty stream is an error, mirroring ReadTrace's empty-trace rejection.
+func (cw *Writer) Close() error {
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+	if err := cw.flushBlock(); err != nil {
+		return err
+	}
+	if cw.index.TotalRows == 0 {
+		return fmt.Errorf("tracecol: empty trace")
+	}
+	footer := encodeFooter(&cw.index)
+	if _, err := cw.w.Write(footer); err != nil {
+		return err
+	}
+	trailer := make([]byte, 0, trailerLen)
+	trailer = binary.LittleEndian.AppendUint64(trailer, uint64(len(footer)))
+	trailer = binary.LittleEndian.AppendUint32(trailer, crcOf(footer))
+	trailer = append(trailer, Magic[:]...)
+	_, err := cw.w.Write(trailer)
+	return err
+}
+
+// Write serializes entries in one call — the columnar analogue of
+// workload.WriteTrace.
+func Write(w io.Writer, entries []workload.TraceEntry, opts WriteOptions) error {
+	cw, err := NewWriter(w, opts)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := cw.Add(e); err != nil {
+			return err
+		}
+	}
+	return cw.Close()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"strconv"
 
 	"bioschedsim/internal/cloud"
@@ -29,11 +30,45 @@ type TraceEntry struct {
 // traceHeader is the canonical column list (deadline optional on read).
 var traceHeader = []string{"id", "length_mi", "pes", "filesize_mb", "outputsize_mb", "arrival_s", "deadline_s"}
 
+// estimateRows guesses the row count of a trace from the reader's
+// remaining size when it is knowable (in-memory readers and regular
+// files), so ReadTrace can preallocate its output instead of growing it
+// through a dozen doublings on a million-row trace. A wrong guess only
+// costs capacity; correctness never depends on it.
+func estimateRows(r io.Reader) int {
+	var size int64
+	switch src := r.(type) {
+	case interface{ Len() int }: // bytes.Reader, strings.Reader, bytes.Buffer
+		size = int64(src.Len())
+	case interface{ Stat() (os.FileInfo, error) }: // *os.File
+		st, err := src.Stat()
+		if err != nil || !st.Mode().IsRegular() {
+			return 0
+		}
+		size = st.Size()
+	default:
+		return 0
+	}
+	// ~30 bytes per canonical row ("7,1942.7,2,310.5,295.1,0.25,0").
+	const avgRowBytes = 30
+	n := size / avgRowBytes
+	const maxPrealloc = 16 << 20 // cap pathological estimates at 16M rows
+	if n > maxPrealloc {
+		n = maxPrealloc
+	}
+	return int(n)
+}
+
 // ReadTrace parses a workload trace. Rows must be sorted by arrival or not
 // — the caller decides; this function preserves file order.
 func ReadTrace(r io.Reader) ([]TraceEntry, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
+	// Every field is converted to a number before the next Read, so the
+	// record buffer can be recycled — this removes the per-row []string
+	// (and its backing string) allocations on the hot path.
+	cr.ReuseRecord = true
+	out := make([]TraceEntry, 0, estimateRows(r))
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("workload: reading trace header: %w", err)
@@ -48,7 +83,6 @@ func ReadTrace(r io.Reader) ([]TraceEntry, error) {
 	}
 	hasDeadline := len(header) >= 7 && header[6] == traceHeader[6]
 
-	var out []TraceEntry
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -74,7 +108,7 @@ func ReadTrace(r io.Reader) ([]TraceEntry, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d pes %q: %w", line, rec[2], err)
 		}
-		nums := make([]float64, len(rec))
+		var nums [7]float64
 		for i, f := range rec {
 			if i == 0 || i == 2 {
 				continue

@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+	"testing/iotest"
 	"testing/quick"
 
 	"bioschedsim/internal/cloud"
@@ -141,5 +143,40 @@ func TestSyntheticTraceDeterministic(t *testing.T) {
 		if a[i].Arrival != b[i].Arrival || a[i].Cloudlet.Length != b[i].Cloudlet.Length {
 			t.Fatal("synthetic trace not deterministic")
 		}
+	}
+}
+
+// BenchmarkReadTrace measures the CSV ingest hot path (ReuseRecord + output
+// preallocation; the columnar numbers live in BENCH_trace.json).
+func BenchmarkReadTrace(b *testing.B) {
+	entries, err := SyntheticTrace(HeterogeneousCloudletSpec(), 100_000, 8, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, entries); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(entries) {
+			b.Fatalf("read %d rows, want %d", len(got), len(entries))
+		}
+	}
+}
+
+func TestEstimateRows(t *testing.T) {
+	if n := estimateRows(strings.NewReader(strings.Repeat("x", 3000))); n != 100 {
+		t.Fatalf("strings.Reader estimate: %d", n)
+	}
+	if n := estimateRows(iotest.DataErrReader(strings.NewReader("x"))); n != 0 {
+		t.Fatalf("opaque reader estimate: %d", n)
 	}
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Record BENCH_trace.json: trace ingest throughput (rows/s, MB/s) of the
+# CSV text path vs the columnar binary path at reader pools {1,2,4}, on a
+# generated 1M-row synthetic trace (the paper's homogeneous cloudlet
+# scale). Best-of-3 per measurement; see cmd/tracebench for the caveats
+# embedded in the record (single-core hosts bound pool overhead, not
+# scaling).
+#
+# Usage: scripts/bench_trace.sh [output.json] [rows]
+set -eu
+
+out="${1:-BENCH_trace.json}"
+rows="${2:-1000000}"
+
+go run ./cmd/tracebench -rows "$rows" -out "$out"

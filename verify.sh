@@ -6,9 +6,9 @@
 # parallel mapping kernels and the shard-count invariance of the merged
 # Eq. 12/13 metrics — a full-module race pass plus explicit race gates for
 # the parallel kernels (aco/hbo/rbs/ga/objective) and the sharded daemon
-# (internal/service at 2/4 shards), and a short fuzz smoke over the two
-# untrusted-input boundaries (the daemon's JSON submit decoder and the
-# workload trace parser).
+# (internal/service at 2/4 shards), and a short fuzz smoke over the
+# untrusted-input boundaries (the daemon's JSON submit decoder, the CSV
+# workload trace parser, and the columnar binary trace reader/converter).
 #
 # Targets:
 #   verify.sh              full gate (default)
@@ -84,5 +84,9 @@ go test -race -run 'TestServiceSharded|TestHTTPSharded' ./internal/service
 
 go test -run='^$' -fuzz=FuzzDecodeSubmit -fuzztime=5s ./internal/service
 go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/workload
+# Columnar trace boundary: text→columnar→text round-trips bit-identically,
+# and arbitrary bytes through the binary opener/reader never panic.
+go test -run='^$' -fuzz=FuzzColumnarRoundTrip -fuzztime=5s ./internal/tracecol
+go test -run='^$' -fuzz=FuzzReadColumnar -fuzztime=5s ./internal/tracecol
 
 bench_smoke
