@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bioschedsim/internal/tracecol"
@@ -44,26 +45,38 @@ func cmdTraceConvert(args []string) error {
 	if err != nil {
 		return err
 	}
-	n, _ := f.Read(prefix)
+	// io.ReadFull, not f.Read: a single Read may legally return fewer than
+	// 8 bytes without error, which would misclassify a columnar file as CSV.
+	n, err := io.ReadFull(f, prefix)
 	f.Close()
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return err
+	}
 	toText := tracecol.IsColumnar(prefix[:n])
 
 	dst, err := os.Create(*out)
 	if err != nil {
 		return err
 	}
+	// A failed conversion must not leave a partial output behind for a later
+	// replay run to trip over.
+	converted := false
+	defer func() {
+		if !converted {
+			dst.Close()
+			os.Remove(*out)
+		}
+	}()
 
 	var rows int
 	if toText {
 		p, err := tracecol.OpenFile(*in)
 		if err != nil {
-			dst.Close()
 			return err
 		}
 		defer p.Close()
 		rows, err = tracecol.ConvertColumnarToText(p, dst, tracecol.ReadOptions{Readers: *readers})
 		if err != nil {
-			dst.Close()
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "converted %s (columnar, %d blocks) -> %s (csv): %d rows\n",
@@ -71,7 +84,6 @@ func cmdTraceConvert(args []string) error {
 	} else {
 		src, err := os.Open(*in)
 		if err != nil {
-			dst.Close()
 			return err
 		}
 		defer src.Close()
@@ -81,13 +93,16 @@ func cmdTraceConvert(args []string) error {
 		}
 		rows, err = tracecol.ConvertTextToColumnar(src, dst, opts)
 		if err != nil {
-			dst.Close()
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "converted %s (csv) -> %s (columnar, %d rows/block, compress=%v): %d rows\n",
 			*in, *out, opts.BlockRows, *compress, rows)
 	}
-	return dst.Close()
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	converted = true
+	return nil
 }
 
 // readTraceFile loads a trace in either format for replay, sniffing the

@@ -8,7 +8,7 @@ import (
 )
 
 // validFile builds a small multi-block columnar trace to corrupt.
-func validFile(t *testing.T, comp byte) []byte {
+func validFile(t testing.TB, comp byte) []byte {
 	t.Helper()
 	entries := genEntries(t, 300, 21)
 	var buf bytes.Buffer
@@ -64,7 +64,7 @@ func TestCorruptBadMagic(t *testing.T) {
 // rewriteFooter decodes the footer span of a valid file, lets mut edit the
 // index, and re-encodes with a consistent CRC — so the corruption under
 // test is the *index contents*, not a checksum failure.
-func rewriteFooter(t *testing.T, data []byte, mut func(*Index)) []byte {
+func rewriteFooter(t testing.TB, data []byte, mut func(*Index)) []byte {
 	t.Helper()
 	trailer := data[len(data)-trailerLen:]
 	footerLen := int64(binary.LittleEndian.Uint64(trailer))
@@ -118,6 +118,24 @@ func TestCorruptFooterChecksum(t *testing.T) {
 	bad := append([]byte{}, data...)
 	bad[len(bad)-trailerLen-2] ^= 0x01
 	mustFail(t, bad, "checksum mismatch", "footer checksum")
+}
+
+// hugeRowCountFile rewrites a valid file's footer so block 0 claims ~2^58
+// rows (TotalRows adjusted to match). This is the shape that defeats a
+// product-form allocation bound: Rows*minRowBytes wraps int64 negative, the
+// check passes, and ReadAll panics allocating the output slice.
+func hugeRowCountFile(tb testing.TB, comp byte) []byte {
+	return rewriteFooter(tb, validFile(tb, comp), func(ix *Index) {
+		const huge = 1 << 58
+		ix.TotalRows += huge - ix.Blocks[0].Rows
+		ix.Blocks[0].Rows = huge
+	})
+}
+
+func TestCorruptHugeRowCount(t *testing.T) {
+	for _, comp := range []byte{CompressNone, CompressFlate} {
+		mustFail(t, hugeRowCountFile(t, comp), "rows in", "huge row count")
+	}
 }
 
 func TestCorruptRowCountMismatch(t *testing.T) {

@@ -173,7 +173,10 @@ func decodeFooter(buf []byte, footerStart int64) (*Index, error) {
 	if nBlocks == 0 {
 		return nil, r.errf("empty trace (zero blocks)")
 	}
-	if nBlocks > uint64(len(buf)) { // each entry is ≥ 20 bytes; cheap bound
+	// Each index entry encodes at least 24 bytes (4 one-byte uvarints +
+	// 4-byte CRC + 16 bytes of arrival bounds), so the footer length bounds
+	// how many entries can possibly follow — and how much we allocate.
+	if nBlocks > uint64(len(buf))/24 {
 		return nil, r.errf("implausible block count %d for a %d-byte footer", nBlocks, len(buf))
 	}
 	ix := &Index{Blocks: make([]BlockInfo, nBlocks)}
@@ -221,8 +224,10 @@ func decodeFooter(buf []byte, footerStart int64) (*Index, error) {
 		// Allocation-safety bounds: every row costs ≥ minRowBytes of raw
 		// payload, and DEFLATE cannot expand past ~1032x, so a hostile
 		// index cannot make the reader allocate out of proportion to the
-		// actual file size.
-		if int64(b.Rows)*minRowBytes > b.RawLen {
+		// actual file size. Compare in division form: the product form
+		// (Rows*minRowBytes > RawLen) overflows int64 for Rows ≈ 2^58,
+		// wrapping negative and waving the bogus count through.
+		if int64(b.Rows) > b.RawLen/minRowBytes {
 			return nil, fmt.Errorf("tracecol: footer: block %d claims %d rows in %d raw bytes (< %d bytes/row)",
 				i, b.Rows, b.RawLen, minRowBytes)
 		}
@@ -231,6 +236,9 @@ func decodeFooter(buf []byte, footerStart int64) (*Index, error) {
 				i, b.RawLen, b.StoredLen)
 		}
 		sumRows += b.Rows
+		if sumRows < 0 {
+			return nil, fmt.Errorf("tracecol: footer: cumulative row count overflows after block %d", i)
+		}
 	}
 	comp, err := r.bytes(1, "compression code")
 	if err != nil {

@@ -104,6 +104,9 @@ func FuzzReadColumnar(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add(Magic[:])
+	// Footer claiming ~2^58 rows: Rows*minRowBytes wraps int64 negative, so
+	// a product-form allocation bound passes and ReadAll panics on make().
+	f.Add(hugeRowCountFile(f, CompressFlate))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := OpenBytes(data)
 		if err != nil {
