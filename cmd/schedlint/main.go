@@ -1,15 +1,21 @@
 // Command schedlint runs the repository's static-analysis rules
-// (internal/lint): determinism of randomness, simulated-clock discipline,
-// float-equality safety, library print hygiene, and lock-copy checks.
+// (internal/lint): determinism of randomness (including interprocedural
+// rand-stream flow), simulated-clock discipline, float-equality safety,
+// library print hygiene, lock-copy and lock-hold checks, and goroutine-join
+// accounting.
 //
 // Usage:
 //
-//	schedlint [-C dir] [-rules r1,r2] [-json] [-list] [packages ...]
+//	schedlint [-C dir] [-rules r1,r2] [-workers n] [-json|-sarif]
+//	          [-baseline file] [-write-baseline file] [-list] [packages ...]
 //
 // Package patterns are module-root-relative directories, with ./... for the
-// whole tree (the default). Exit codes: 0 clean, 1 findings, 2 usage or
+// whole tree (the default). -json and -sarif emit machine-readable reports
+// (schema lint.SchemaVersion); -baseline filters known findings recorded by
+// a previous -write-baseline. Exit codes: 0 clean, 1 findings, 2 usage or
 // load error — suitable for CI gates (verify.sh runs
-// `go run ./cmd/schedlint ./...`).
+// `go run ./cmd/schedlint ./...`; CI additionally uploads the -sarif report
+// for inline PR annotations).
 package main
 
 import (
@@ -28,10 +34,13 @@ func main() {
 }
 
 // jsonReport is the -json output schema. CI consumers rely on these field
-// names; extend, do not rename.
+// names; extend, do not rename. Schema identifies the report format version
+// and moves in lockstep with the SARIF and baseline schemas.
 type jsonReport struct {
+	Schema      string            `json:"schema"`
 	Packages    int               `json:"packages"`
 	Count       int               `json:"count"`
+	Baselined   int               `json:"baselined"`
 	Diagnostics []lint.Diagnostic `json:"diagnostics"`
 }
 
@@ -39,10 +48,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("schedlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dir      = fs.String("C", ".", "analyze the module containing this `directory`")
-		rules    = fs.String("rules", "", "comma-separated `rules` to run (default: all; see -list)")
-		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
-		listOnly = fs.Bool("list", false, "list the registered rules and exit")
+		dir           = fs.String("C", ".", "analyze the module containing this `directory`")
+		rules         = fs.String("rules", "", "comma-separated `rules` to run (default: all; see -list)")
+		workers       = fs.Int("workers", 0, "analysis worker `count`: 0 = GOMAXPROCS, 1 = serial (output is identical at every setting)")
+		jsonOut       = fs.Bool("json", false, "emit diagnostics as JSON")
+		sarifOut      = fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 (for CI code-scanning upload)")
+		baseline      = fs.String("baseline", "", "filter findings recorded in this baseline `file`")
+		writeBaseline = fs.String("write-baseline", "", "write current findings to this baseline `file` and exit 0")
+		listOnly      = fs.Bool("list", false, "list the registered rules and exit")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: schedlint [flags] [package patterns, default ./...]\n")
@@ -57,21 +70,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "schedlint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	var ruleNames []string
 	if *rules != "" {
 		ruleNames = strings.Split(*rules, ",")
 	}
-	res, err := lint.Run(lint.Config{Dir: *dir, Patterns: fs.Args(), Rules: ruleNames})
+	res, err := lint.Run(lint.Config{
+		Dir:      *dir,
+		Patterns: fs.Args(),
+		Rules:    ruleNames,
+		Workers:  *workers,
+		Baseline: *baseline,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "schedlint: %v\n", err)
 		return 2
 	}
 
-	if *jsonOut {
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(res.Diags)
+		if err := b.Write(*writeBaseline); err != nil {
+			fmt.Fprintf(stderr, "schedlint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "schedlint: wrote %d finding(s) to baseline %s\n", len(res.Diags), *writeBaseline)
+		return 0
+	}
+
+	switch {
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, res); err != nil {
+			fmt.Fprintf(stderr, "schedlint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		rep := jsonReport{Packages: res.Packages, Count: len(res.Diags), Diagnostics: res.Diags}
+		rep := jsonReport{
+			Schema:      lint.SchemaVersion,
+			Packages:    res.Packages,
+			Count:       len(res.Diags),
+			Baselined:   res.Baselined,
+			Diagnostics: res.Diags,
+		}
 		if rep.Diagnostics == nil {
 			rep.Diagnostics = []lint.Diagnostic{} // stable schema: [] not null
 		}
@@ -79,12 +124,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "schedlint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range res.Diags {
 			fmt.Fprintln(stdout, d.String())
 		}
 		if n := len(res.Diags); n > 0 {
 			fmt.Fprintf(stderr, "schedlint: %d finding(s) across %d package(s)\n", n, res.Packages)
+		}
+		if res.Baselined > 0 {
+			fmt.Fprintf(stderr, "schedlint: %d baselined finding(s) filtered\n", res.Baselined)
 		}
 	}
 	if len(res.Diags) > 0 {

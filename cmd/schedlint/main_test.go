@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"bioschedsim/internal/lint"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
@@ -35,8 +37,9 @@ func TestJSONGolden(t *testing.T) {
 	}
 	// The golden bytes must stay parseable with the documented field names.
 	var rep struct {
-		Packages    int `json:"packages"`
-		Count       int `json:"count"`
+		Schema      string `json:"schema"`
+		Packages    int    `json:"packages"`
+		Count       int    `json:"count"`
 		Diagnostics []struct {
 			File    string `json:"file"`
 			Line    int    `json:"line"`
@@ -47,6 +50,9 @@ func TestJSONGolden(t *testing.T) {
 	}
 	if err := json.Unmarshal(want, &rep); err != nil {
 		t.Fatalf("golden file is not valid JSON: %v", err)
+	}
+	if rep.Schema != lint.SchemaVersion {
+		t.Errorf("schema = %q, want %q (JSON, SARIF, and baseline version together)", rep.Schema, lint.SchemaVersion)
 	}
 	if rep.Count != len(rep.Diagnostics) || rep.Count != 2 {
 		t.Errorf("want count 2 matching diagnostics length, got count=%d len=%d", rep.Count, len(rep.Diagnostics))
@@ -112,6 +118,180 @@ func TestRulesFlag(t *testing.T) {
 	}
 	if strings.Count(out, "(floateq)") != 1 {
 		t.Errorf("want exactly one floateq finding (the sentinel is suppressed):\n%s", out)
+	}
+}
+
+// TestSARIFGolden pins the -sarif output byte-for-byte and validates the
+// invariants GitHub code scanning depends on: schema URI, version 2.1.0, a
+// rule catalog every result's ruleIndex resolves into, and SRCROOT-based
+// module-relative file URIs.
+func TestSARIFGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", filepath.Join("testdata", "jsonfix"), "-sarif", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present); stderr: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "golden.sarif")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("-sarif output drifted from golden file\n got:\n%s\nwant:\n%s", stdout.String(), want)
+	}
+
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name            string `json:"name"`
+					SemanticVersion string `json:"semanticVersion"`
+					Rules           []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				RuleIndex int    `json:"ruleIndex"`
+				Level     string `json:"level"`
+				Message   struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(want, &log); err != nil {
+		t.Fatalf("golden SARIF is not valid JSON: %v", err)
+	}
+	if !strings.Contains(log.Schema, "sarif-2.1.0") || log.Version != "2.1.0" {
+		t.Errorf("bad $schema/version: %q / %q", log.Schema, log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(log.Runs))
+	}
+	drv := log.Runs[0].Tool.Driver
+	if drv.Name != "schedlint" || drv.SemanticVersion != lint.SchemaVersion {
+		t.Errorf("driver = %s/%s, want schedlint/%s", drv.Name, drv.SemanticVersion, lint.SchemaVersion)
+	}
+	// Catalog covers every registered rule plus the "ignore" pseudo-rule.
+	if want := len(lint.Rules()) + 1; len(drv.Rules) != want {
+		t.Errorf("rule catalog has %d entries, want %d", len(drv.Rules), want)
+	}
+	if len(log.Runs[0].Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(log.Runs[0].Results))
+	}
+	for _, r := range log.Runs[0].Results {
+		if r.RuleIndex < 0 || r.RuleIndex >= len(drv.Rules) || drv.Rules[r.RuleIndex].ID != r.RuleID {
+			t.Errorf("result ruleIndex %d does not resolve to ruleId %s", r.RuleIndex, r.RuleID)
+		}
+		if r.Level != "error" || r.Message.Text == "" {
+			t.Errorf("result missing level/message: %+v", r)
+		}
+		for _, loc := range r.Locations {
+			pl := loc.PhysicalLocation
+			if pl.ArtifactLocation.URIBaseID != "SRCROOT" || strings.HasPrefix(pl.ArtifactLocation.URI, "/") {
+				t.Errorf("URIs must be SRCROOT-relative, got %+v", pl.ArtifactLocation)
+			}
+			if pl.Region.StartLine == 0 || pl.Region.StartColumn == 0 {
+				t.Errorf("region missing line/col: %+v", pl.Region)
+			}
+		}
+	}
+}
+
+// TestJSONSARIFExclusive: the two machine formats cannot share stdout.
+func TestJSONSARIFExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-sarif", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr should explain the conflict: %q", stderr.String())
+	}
+}
+
+// TestBaselineRoundTrip: -write-baseline captures the fixture's findings;
+// rerunning with -baseline filters them (exit 0) while a fresh violation
+// class would still surface. The baseline file itself carries the shared
+// schema version.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bl := filepath.Join(dir, "baseline.json")
+	fix := filepath.Join("testdata", "jsonfix")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", fix, "-write-baseline", bl, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline exit = %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b struct {
+		Schema   string `json:"schema"`
+		Findings []struct {
+			Count int `json:"count"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("baseline is not valid JSON: %v", err)
+	}
+	if b.Schema != lint.SchemaVersion || len(b.Findings) != 2 {
+		t.Errorf("baseline schema=%q findings=%d, want %q/2", b.Schema, len(b.Findings), lint.SchemaVersion)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-C", fix, "-baseline", bl, "-json", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run exit = %d, want 0; stdout: %s", code, stdout.String())
+	}
+	var rep struct {
+		Count     int `json:"count"`
+		Baselined int `json:"baselined"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count != 0 || rep.Baselined != 2 {
+		t.Errorf("want count=0 baselined=2, got count=%d baselined=%d", rep.Count, rep.Baselined)
+	}
+}
+
+// TestWorkersDeterministic: the parallel per-package driver must emit
+// byte-identical reports at every worker count — the same contract the
+// engine enforces on the code it lints.
+func TestWorkersDeterministic(t *testing.T) {
+	outputs := make([]string, 0, 3)
+	for _, w := range []string{"1", "2", "8"} {
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-C", "../..", "-workers", w, "-json", "./..."}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("-workers %s exit = %d; stderr: %s", w, code, stderr.String())
+		}
+		outputs = append(outputs, stdout.String())
+	}
+	if outputs[0] != outputs[1] || outputs[1] != outputs[2] {
+		t.Errorf("output differs across worker counts:\n-workers 1:\n%s\n-workers 8:\n%s", outputs[0], outputs[2])
 	}
 }
 

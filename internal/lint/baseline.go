@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline records known, triaged findings so a new rule can land while
+// its legacy findings are burned down incrementally instead of being
+// suppressed in bulk. Entries are keyed by (file, rule, message) — not line —
+// so unrelated edits that shift code do not invalidate the baseline, and
+// Count bounds how many identical findings an entry absorbs: the file can
+// only shrink, never silently grow.
+type Baseline struct {
+	// Schema pins the baseline format to the emitter version (SchemaVersion).
+	Schema string `json:"schema"`
+	// Findings are the tolerated legacy findings, sorted by file, rule,
+	// message for stable diffs.
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one tolerated legacy finding class.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	// Count is the number of identical findings this entry absorbs (≥ 1).
+	Count int `json:"count"`
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Schema != SchemaVersion {
+		return nil, fmt.Errorf("baseline %s: schema %q does not match this binary's %q; regenerate with -write-baseline", path, b.Schema, SchemaVersion)
+	}
+	for i, e := range b.Findings {
+		if e.File == "" || e.Rule == "" || e.Message == "" || e.Count < 1 {
+			return nil, fmt.Errorf("baseline %s: entry %d is malformed (file/rule/message required, count ≥ 1)", path, i)
+		}
+	}
+	return &b, nil
+}
+
+// NewBaseline builds a baseline absorbing exactly the given findings.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, d := range diags {
+		counts[BaselineEntry{File: d.File, Rule: d.Rule, Message: d.Message}]++
+	}
+	b := &Baseline{Schema: SchemaVersion, Findings: make([]BaselineEntry, 0, len(counts))}
+	for e, n := range counts {
+		e.Count = n
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Write renders the baseline to path as indented JSON with a trailing
+// newline, the form committed to version control.
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Filter splits diags into the findings that survive (new — not absorbed by
+// the baseline) and the count absorbed. Each entry absorbs at most Count
+// matching findings, so a finding class that multiplies past its recorded
+// count surfaces again.
+func (b *Baseline) Filter(diags []Diagnostic) (kept []Diagnostic, absorbed int) {
+	budget := make(map[BaselineEntry]int, len(b.Findings))
+	for _, e := range b.Findings {
+		key := BaselineEntry{File: e.File, Rule: e.Rule, Message: e.Message}
+		budget[key] += e.Count
+	}
+	kept = diags[:0:0]
+	for _, d := range diags {
+		key := BaselineEntry{File: d.File, Rule: d.Rule, Message: d.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			absorbed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, absorbed
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file is the lightweight dataflow half of the engine: where the call
+// graph answers "who calls whom", these helpers answer "where did this value
+// come from" — through simple assignments, call arguments, and closure
+// captures. The analysis is intentionally shallow (no heap modeling, no
+// aliasing through containers): rules use it to distinguish a value created
+// inside a scope from one captured across a concurrency boundary, which is
+// exactly the split-don't-share question the determinism model asks.
+
+// declaredWithin reports whether obj's declaration lies inside node's source
+// range — the test for "is this variable local to the closure or captured
+// from the enclosing function".
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	if obj == nil || node == nil {
+		return false
+	}
+	pos := obj.Pos()
+	return pos >= node.Pos() && pos < node.End()
+}
+
+// rootIdent walks selector/index/star chains to the base identifier:
+// r.ctx.Rand → r, streams[i] → streams. Call results have no root — the
+// value was produced, not read — so any chain passing through a call
+// returns nil.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// originExpr finds the expression a variable was initialized from inside
+// scope: the RHS of its `:=` / var declaration. It returns nil when the
+// variable is not declared in scope or has no single initializer (e.g. a
+// plain `var x T` later assigned).
+func originExpr(p *Package, scope ast.Node, obj types.Object) ast.Expr {
+	var origin ast.Expr
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if origin != nil {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || p.Info.Defs[id] != obj {
+					continue
+				}
+				if len(st.Rhs) == len(st.Lhs) {
+					origin = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					origin = st.Rhs[0] // multi-value call: the call expression
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if p.Info.Defs[name] != obj {
+					continue
+				}
+				if i < len(st.Values) {
+					origin = st.Values[i]
+				}
+			}
+		}
+		return origin == nil
+	})
+	return origin
+}
+
+// capturedFrom reports whether an identifier use inside scope ultimately
+// reads state captured from outside scope, following alias chains
+// (`r2 := r; r2.Intn(n)` captures whatever r captures). A chain ending at a
+// call expression originates inside the scope — calls produce fresh values —
+// and a chain ending at a parameter of the scope's own function literal is
+// local by definition. depth bounds pathological alias chains.
+func capturedFrom(p *Package, scope ast.Node, id *ast.Ident, depth int) bool {
+	if depth <= 0 {
+		return true // give up conservatively: treat as captured
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	if !declaredWithin(obj, scope) {
+		return true
+	}
+	// Declared inside the scope: fresh unless it merely aliases a captured
+	// value.
+	origin := originExpr(p, scope, obj)
+	if origin == nil {
+		return false
+	}
+	switch o := ast.Unparen(origin).(type) {
+	case *ast.CallExpr:
+		return false // produced inside the scope
+	case *ast.UnaryExpr, *ast.CompositeLit:
+		return false
+	default:
+		if root := rootIdent(o); root != nil {
+			return capturedFrom(p, scope, root, depth-1)
+		}
+		_ = o
+	}
+	return false
+}
+
+// constructsLocally reports whether the variable behind root was initialized
+// in fn's body from a composite literal (optionally address-taken) of any
+// type — i.e. the enclosing function is constructing the value, so it is not
+// yet shared with other goroutines. lockheld uses this to exempt
+// constructor-style field initialization from guarded-field findings.
+func constructsLocally(p *Package, fn ast.Node, root *ast.Ident) bool {
+	obj := p.Info.Uses[root]
+	if obj == nil {
+		obj = p.Info.Defs[root]
+	}
+	if obj == nil || !declaredWithin(obj, fn) {
+		return false
+	}
+	origin := originExpr(p, fn, obj)
+	if origin == nil {
+		return false
+	}
+	switch o := ast.Unparen(origin).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, lit := ast.Unparen(o.X).(*ast.CompositeLit)
+		return lit
+	}
+	return false
+}

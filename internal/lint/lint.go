@@ -1,24 +1,41 @@
 // Package lint is schedlint's analysis engine: a zero-dependency static
 // analyzer (go/parser + go/ast + go/token + go/types only) that enforces the
-// repository's determinism, simulated-clock, and float-safety invariants.
+// repository's determinism, simulated-clock, float-safety, and concurrency
+// invariants.
 //
 // The paper's comparisons are only reproducible when every scheduler run is a
 // pure function of its inputs and seed. That discipline is threaded through
 // the code by convention — randomness flows through an injected *rand.Rand
-// (internal/xrand), simulation code reads time only from the engine's
-// simulated clock, and Eq. 12/13 style float accumulations are never compared
-// exactly. One stray global rand call or wall-clock read silently breaks
-// replays; this package turns each convention into a machine-checked rule:
+// (internal/xrand) and is split, never shared, across goroutines; simulation
+// code reads time only from the engine's simulated clock; Eq. 12/13 style
+// float accumulations are never compared exactly. One stray global rand call,
+// wall-clock read, or shared stream silently breaks replays; this package
+// turns each convention into a machine-checked rule:
 //
 //   - detrand:   no global math/rand functions (and no wall-clock-seeded
-//     rand.New) in deterministic packages.
+//     rand.New) in deterministic packages — including transitively, through
+//     helpers in other module packages (the call graph proves it).
 //   - simclock:  no time.Now/Since/Sleep/... in simulation and scheduler
-//     packages; the engine's simulated clock is the only legal time source.
+//     packages, directly or through any statically reachable helper.
 //   - floateq:   no ==/!= between floating-point operands in scheduler and
 //     objective code.
-//   - noprint:   no fmt.Print*/println in library packages; output goes
-//     through internal/report.
+//   - noprint:   no fmt.Print*/println, log.Print*/Fatal*/Panic*, or
+//     os.Stdout/os.Stderr writes in library packages; output goes through
+//     internal/report.
 //   - mutexcopy: no by-value copies of types that contain a sync lock.
+//   - randshare: no *rand.Rand / xrand.Source value captured by a goroutine
+//     closure or a worker-pool callback (objective.ParallelFor and friends);
+//     derive a per-index child stream instead (PR 5 determinism model).
+//   - lockheld:  no channel operations or blocking waits while holding a
+//     mutex, and no access to a "// guarded by: mu" field without the lock.
+//   - goroleak:  no goroutine launched in internal/ without a visible join
+//     (sync.WaitGroup, channel, or context).
+//
+// The engine is interprocedural: the loader type-checks every module package
+// once into one shared universe, a static call graph links them
+// (conservative on dynamic dispatch), and a lightweight dataflow layer
+// distinguishes values created inside a concurrency scope from values
+// captured across it.
 //
 // A finding can be suppressed, with an audit trail, by a comment on the same
 // line or the line above:
@@ -27,15 +44,24 @@
 //
 // The reason is mandatory; malformed or unknown-rule directives are
 // themselves diagnosed (rule "ignore") so typos cannot silently disable a
-// check.
+// check. Legacy findings can instead be carried in a baseline file (see
+// Baseline), which new rules use to land without bulk suppressions.
 package lint
 
 import (
 	"fmt"
 	"go/token"
+	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
+
+// SchemaVersion names the diagnostic output schema emitted by the JSON and
+// SARIF writers and recorded in baseline files. The three surfaces version
+// together: bump once here when any of them changes shape.
+const SchemaVersion = "schedlint/v2"
 
 // Diagnostic is one finding, positioned at a module-root-relative file path.
 // The JSON field names are a stable schema consumed by CI tooling.
@@ -62,8 +88,9 @@ type Rule struct {
 	// module-root-relative path (e.g. "internal/sched", "cmd/schedd").
 	Scope func(rel string) bool
 	// Check reports findings via report; positions are token.Pos values in
-	// the package's FileSet.
-	Check func(p *Package, report func(pos token.Pos, format string, args ...any))
+	// the package's FileSet. a carries the whole-module context (call graph,
+	// every loaded package) for interprocedural rules.
+	Check func(a *Analysis, p *Package, report func(pos token.Pos, format string, args ...any))
 }
 
 // Config selects what Run analyzes.
@@ -76,6 +103,21 @@ type Config struct {
 	Patterns []string
 	// Rules are the enabled rule names; empty means all registered rules.
 	Rules []string
+	// Workers bounds the per-package analysis fan-out under the repository
+	// convention: 0 means GOMAXPROCS, 1 forces serial. Loading and
+	// type-checking are always performed once per package regardless;
+	// workers only parallelize rule application, whose output is ordered by
+	// the final sort and therefore identical at every worker count.
+	Workers int
+	// Baseline is an optional path to a baseline file (see Baseline): known
+	// findings recorded there are filtered from the result and counted in
+	// Result.Baselined instead.
+	Baseline string
+	// Cache optionally shares loaded, type-checked packages across Run
+	// calls. Every package is parsed and type-checked at most once per
+	// Cache lifetime; the zero Config loads fresh. Sources must not change
+	// for the lifetime of a Cache.
+	Cache *Cache
 }
 
 // Result is a completed analysis.
@@ -84,6 +126,61 @@ type Result struct {
 	Diags []Diagnostic
 	// Packages is the number of packages analyzed.
 	Packages int
+	// Baselined counts findings absorbed by the Config.Baseline file.
+	Baselined int
+}
+
+// Analysis is the whole-module context handed to every rule: all loaded
+// packages (targets and dependencies in one type-checker universe) and the
+// static call graph over them.
+type Analysis struct {
+	// Pkgs is every loaded module package, sorted by import path.
+	Pkgs []*Package
+	// Graph is the module-wide static call graph.
+	Graph *CallGraph
+
+	byTypes map[*types.Package]*Package
+
+	mu    sync.Mutex
+	reach map[string]*reachCache
+}
+
+func newAnalysis(pkgs []*Package) *Analysis {
+	a := &Analysis{
+		Pkgs:    pkgs,
+		Graph:   buildCallGraph(pkgs),
+		byTypes: make(map[*types.Package]*Package, len(pkgs)),
+		reach:   make(map[string]*reachCache),
+	}
+	for _, p := range pkgs {
+		if p.Types != nil {
+			a.byTypes[p.Types] = p
+		}
+	}
+	return a
+}
+
+// RelOf resolves a loaded types.Package back to its module-root-relative
+// directory. ok is false for standard-library stubs and placeholders.
+func (a *Analysis) RelOf(tp *types.Package) (string, bool) {
+	p, ok := a.byTypes[tp]
+	if !ok {
+		return "", false
+	}
+	return p.Rel, true
+}
+
+// reachCacheFor returns the shared, concurrency-safe sink-reachability cache
+// for one rule, so a hot helper queried from many packages is walked once.
+func (a *Analysis) reachCacheFor(rule string, sink func(pkg, name string) bool) *reachCache {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rc, ok := a.reach[rule]
+	if !ok {
+		rc = newReachCache(a.Graph, sink)
+		a.reach[rule] = rc
+	}
+	return rc
 }
 
 // Rules returns the registered rules in their canonical order.
@@ -100,13 +197,21 @@ func RuleNames() []string {
 
 // Run loads every package matched by cfg and applies the enabled rules.
 // It returns an error only for environmental failures (no module, bad
-// pattern, unknown rule name); findings are data, not errors.
+// pattern, unknown rule name, unreadable baseline); findings are data, not
+// errors.
 func Run(cfg Config) (*Result, error) {
 	rules, err := selectRules(cfg.Rules)
 	if err != nil {
 		return nil, err
 	}
-	ld, err := newLoader(cfg.Dir)
+	var baseline *Baseline
+	if cfg.Baseline != "" {
+		baseline, err = LoadBaseline(cfg.Baseline)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ld, err := cfg.loader()
 	if err != nil {
 		return nil, err
 	}
@@ -118,17 +223,30 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	analysis := newAnalysis(ld.allLoaded())
 
-	var diags []Diagnostic
-	for _, p := range pkgs {
+	// Per-package rule application fans out across the worker pool; each
+	// worker writes only its own package's slot, and the final merge+sort is
+	// order-insensitive, so results are bit-identical at every worker count
+	// — the same contract the engine enforces on the code it lints.
+	perPkg := make([][]Diagnostic, len(pkgs))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	analyze := func(i int) {
+		p := pkgs[i]
 		sup := scanSuppressions(p, ld.relFile)
-		diags = append(diags, sup.malformed...)
+		diags := append([]Diagnostic(nil), sup.malformed...)
 		for _, r := range rules {
 			if r.Scope != nil && !r.Scope(p.Rel) {
 				continue
 			}
 			rule := r // capture for the closure below
-			r.Check(p, func(pos token.Pos, format string, args ...any) {
+			r.Check(analysis, p, func(pos token.Pos, format string, args ...any) {
 				position := p.Fset.Position(pos)
 				d := Diagnostic{
 					File:    ld.relFile(position.Filename),
@@ -143,6 +261,34 @@ func Run(cfg Config) (*Result, error) {
 				diags = append(diags, d)
 			})
 		}
+		perPkg[i] = diags
+	}
+	if workers <= 1 {
+		for i := range pkgs {
+			analyze(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					analyze(i)
+				}
+			}()
+		}
+		for i := range pkgs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -160,7 +306,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return a.Message < b.Message
 	})
-	return &Result{Diags: diags, Packages: len(pkgs)}, nil
+	res := &Result{Diags: diags, Packages: len(pkgs)}
+	if baseline != nil {
+		res.Diags, res.Baselined = baseline.Filter(res.Diags)
+	}
+	return res, nil
 }
 
 // selectRules resolves names against the registry, defaulting to all.

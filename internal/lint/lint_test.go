@@ -58,9 +58,13 @@ func fixtureCases() []fixtureCase {
 			name:  "noprint",
 			rules: []string{"noprint"},
 			want: map[string][]string{
-				"internal/foo/fixture.go:14": {"noprint"},
-				"internal/foo/fixture.go:15": {"noprint"},
-				"internal/foo/fixture.go:16": {"noprint"},
+				"internal/foo/fixture.go:18": {"noprint"},
+				"internal/foo/fixture.go:19": {"noprint"},
+				"internal/foo/fixture.go:20": {"noprint"},
+				"internal/foo/fixture.go:42": {"noprint"},
+				"internal/foo/fixture.go:43": {"noprint"},
+				"internal/foo/fixture.go:49": {"noprint"},
+				"internal/foo/fixture.go:50": {"noprint"},
 			},
 		},
 		{
@@ -72,6 +76,50 @@ func fixtureCases() []fixtureCase {
 				"internal/foo/fixture.go:31": {"mutexcopy"},
 				"internal/foo/fixture.go:38": {"mutexcopy"},
 				"internal/foo/fixture.go:46": {"mutexcopy"},
+			},
+		},
+		{
+			name:  "randshare",
+			rules: []string{"randshare"},
+			want: map[string][]string{
+				"internal/sched/fixture.go:19": {"randshare"},
+				"internal/sched/fixture.go:28": {"randshare"},
+				"internal/sched/fixture.go:36": {"randshare"},
+				"internal/sched/fixture.go:44": {"randshare"},
+				"internal/sched/fixture.go:45": {"randshare"},
+				"internal/sched/fixture.go:52": {"randshare"},
+				"internal/sched/fixture.go:68": {"randshare"},
+			},
+		},
+		{
+			name:  "lockheld",
+			rules: []string{"lockheld"},
+			want: map[string][]string{
+				"internal/foo/fixture.go:25":  {"lockheld"},
+				"internal/foo/fixture.go:42":  {"lockheld"},
+				"internal/foo/fixture.go:51":  {"lockheld"},
+				"internal/foo/fixture.go:58":  {"lockheld"},
+				"internal/foo/fixture.go:66":  {"lockheld"},
+				"internal/foo/fixture.go:110": {"lockheld"},
+				"internal/foo/fixture.go:113": {"lockheld"},
+			},
+		},
+		{
+			name:  "goroleak",
+			rules: []string{"goroleak"},
+			want: map[string][]string{
+				"internal/foo/fixture.go:11": {"goroleak"},
+				"internal/foo/fixture.go:22": {"goroleak"},
+				// cmd/tool launches fire-and-forget too, but commands are out
+				// of scope: nothing expected there.
+			},
+		},
+		{
+			name:  "interproc",
+			rules: []string{"detrand", "simclock"},
+			want: map[string][]string{
+				"internal/sched/fixture.go:12": {"detrand"},
+				"internal/sim/fixture.go:12":   {"simclock"},
 			},
 		},
 		{
@@ -164,6 +212,45 @@ func TestSeededViolation(t *testing.T) {
 	}
 }
 
+// TestSeededRandShareViolation pins the PR's both-ways acceptance criterion
+// for randshare: a shared stream captured by a goroutine closure, planted in
+// a scratch module, is flagged with its exact file:line:col; the surrounding
+// clean derivation is not.
+func TestSeededRandShareViolation(t *testing.T) {
+	dir := t.TempDir()
+	pkg := filepath.Join(dir, "internal", "worker")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "go.mod"), "module seeded.example/repo\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(pkg, "bad.go"), `package worker
+
+import "math/rand"
+
+func fanOut(r *rand.Rand, out chan<- int) {
+	go func() {
+		out <- r.Intn(100)
+	}()
+	go func() {
+		local := rand.New(rand.NewSource(7))
+		out <- local.Intn(100)
+	}()
+}
+`)
+
+	res, err := Run(Config{Dir: dir, Rules: []string{"randshare"}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Diags) != 1 {
+		t.Fatalf("want exactly one finding, got %d:\n%s", len(res.Diags), renderDiags(res.Diags))
+	}
+	d := res.Diags[0]
+	if d.Rule != "randshare" || d.File != "internal/worker/bad.go" || d.Line != 7 || d.Col != 10 {
+		t.Errorf("want randshare at internal/worker/bad.go:7:10, got %s", d.String())
+	}
+}
+
 func TestUnknownRule(t *testing.T) {
 	if _, err := Run(Config{Dir: "../..", Rules: []string{"nosuchrule"}}); err == nil {
 		t.Fatal("want error for unknown rule, got nil")
@@ -171,9 +258,62 @@ func TestUnknownRule(t *testing.T) {
 }
 
 func TestRuleNamesStable(t *testing.T) {
-	want := []string{"detrand", "simclock", "floateq", "noprint", "mutexcopy"}
+	want := []string{"detrand", "simclock", "floateq", "noprint", "mutexcopy", "randshare", "lockheld", "goroleak"}
 	if got := RuleNames(); !reflect.DeepEqual(got, want) {
 		t.Errorf("rule registry changed: got %v want %v (names are suppression/CLI API)", got, want)
+	}
+}
+
+// TestCacheEquivalence: analyses through a shared Cache are bit-identical
+// to fresh loads — the cache only skips re-parsing and re-type-checking.
+func TestCacheEquivalence(t *testing.T) {
+	fresh, err := Run(Config{Dir: "../.."})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	cache := NewCache()
+	for i := 0; i < 2; i++ {
+		cached, err := Run(Config{Dir: "../..", Cache: cache})
+		if err != nil {
+			t.Fatalf("cached Run %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(fresh.Diags, cached.Diags) || fresh.Packages != cached.Packages {
+			t.Errorf("cached run %d differs: fresh %d diags / %d pkgs, cached %d diags / %d pkgs",
+				i, len(fresh.Diags), fresh.Packages, len(cached.Diags), cached.Packages)
+		}
+	}
+}
+
+// BenchmarkRunRepo measures a full-module analysis with a cold loader: every
+// iteration parses and type-checks the whole repository.
+func BenchmarkRunRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{Dir: "../.."})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Diags) != 0 {
+			b.Fatalf("repo not clean: %d findings", len(res.Diags))
+		}
+	}
+}
+
+// BenchmarkRunRepoCached is the same analysis through a shared Cache: after
+// the first iteration every package is served from the memoized universe, so
+// the delta against BenchmarkRunRepo is the parse+type-check cost the cache
+// eliminates for repeated Run calls (the schedlint CLI calls Run once per
+// invocation, but editor/watch integrations and the test suite call it many
+// times).
+func BenchmarkRunRepoCached(b *testing.B) {
+	cache := NewCache()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{Dir: "../..", Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Diags) != 0 {
+			b.Fatalf("repo not clean: %d findings", len(res.Diags))
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -38,13 +39,70 @@ type Package struct {
 // resulting "undeclared name" errors is deliberate: every rule works from
 // qualified-identifier resolution and module-local type information, both of
 // which survive partial type-checking.
+//
+// Every package is parsed and type-checked exactly once per loader: targets
+// and dependencies share one memoized universe (pkgs), so analyzing N
+// packages that all import internal/cloud type-checks internal/cloud once,
+// not N times. mu serializes the recursive load so a loader — and therefore
+// a Cache — may be shared across goroutines and Run calls.
 type loader struct {
+	mu      sync.Mutex
 	fset    *token.FileSet
 	modPath string // module path from go.mod
 	modRoot string // absolute directory containing go.mod
 	pkgs    map[string]*Package
 	loading map[string]bool
 	fakes   map[string]*types.Package
+}
+
+// Cache shares loaders — and with them every parsed, type-checked package —
+// across Run calls, keyed by resolved module root. A CLI process or a test
+// binary that analyzes the same module repeatedly pays the parse+check cost
+// once; see BenchmarkRunRepoCached. Sources must not change for the
+// lifetime of a Cache.
+type Cache struct {
+	mu      sync.Mutex
+	loaders map[string]*loader
+}
+
+// NewCache returns an empty shared load cache.
+func NewCache() *Cache {
+	return &Cache{loaders: make(map[string]*loader)}
+}
+
+// loader resolves cfg's Dir to a loader, reusing the Cache's instance for
+// that module root when a Cache is configured.
+func (cfg Config) loader() (*loader, error) {
+	if cfg.Cache == nil {
+		return newLoader(cfg.Dir)
+	}
+	cfg.Cache.mu.Lock()
+	defer cfg.Cache.mu.Unlock()
+	// Resolve the module root first so "." and an absolute path to the same
+	// module share one loader.
+	probe, err := newLoader(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if ld, ok := cfg.Cache.loaders[probe.modRoot]; ok {
+		return ld, nil
+	}
+	cfg.Cache.loaders[probe.modRoot] = probe
+	return probe, nil
+}
+
+// allLoaded returns every package the loader has materialized — targets and
+// transitively loaded dependencies — sorted by import path. This is the
+// universe the call graph is built over.
+func (l *loader) allLoaded() []*Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // newLoader walks up from dir to the enclosing go.mod.
@@ -196,7 +254,16 @@ func isSourceFile(e os.DirEntry) bool {
 }
 
 // load parses and type-checks one module package, memoized by import path.
+// It is the locked public entry; the recursive work happens in loadLocked.
 func (l *loader) load(importPath string) (*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.loadLocked(importPath)
+}
+
+// loadLocked does the real load under l.mu (the import callback re-enters it
+// for module-internal dependencies, so it must not lock).
+func (l *loader) loadLocked(importPath string) (*Package, error) {
 	if p, ok := l.pkgs[importPath]; ok {
 		return p, nil
 	}
@@ -266,7 +333,7 @@ func (im *stubImporter) Import(importPath string) (*types.Package, error) {
 		return types.Unsafe, nil
 	}
 	if importPath == l.modPath || strings.HasPrefix(importPath, l.modPath+"/") {
-		p, err := l.load(importPath)
+		p, err := l.loadLocked(importPath)
 		if err != nil {
 			// A broken internal import degrades to a placeholder so the
 			// importing package still gets checked.

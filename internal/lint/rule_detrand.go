@@ -23,8 +23,19 @@ var randGlobals = map[string]bool{
 // checkDetRand enforces the determinism contract for randomness: every draw
 // in a deterministic package must come through an injected *rand.Rand (built
 // from internal/xrand streams), never the global math/rand source, and a
-// local generator must not be seeded from the wall clock.
-func checkDetRand(p *Package, report func(pos token.Pos, format string, args ...any)) {
+// local generator must not be seeded from the wall clock. The direct walk
+// below covers this package's own bodies; the interprocedural pass then
+// follows every static call that leaves the deterministic set into helper
+// packages, so a convenience wrapper three calls deep drawing from the
+// global source is flagged at the call site that imports the
+// nondeterminism.
+func checkDetRand(a *Analysis, p *Package, report func(pos token.Pos, format string, args ...any)) {
+	reportTransitiveSinks(a, p, "detrand",
+		func(rel string) bool { return inScope(rel, deterministicPkgs) },
+		func(pkg, name string) bool {
+			return (pkg == "math/rand" || pkg == "math/rand/v2") && randGlobals[name]
+		},
+		report)
 	walkFiles(p, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.SelectorExpr:

@@ -14,7 +14,7 @@ import (
 // optimization that reorders a loop changes behavior. Comparisons where both
 // sides are compile-time constants are allowed — those are exact by
 // construction.
-func checkFloatEq(p *Package, report func(pos token.Pos, format string, args ...any)) {
+func checkFloatEq(_ *Analysis, p *Package, report func(pos token.Pos, format string, args ...any)) {
 	walkFiles(p, func(n ast.Node) bool {
 		be, ok := n.(*ast.BinaryExpr)
 		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkGoroLeak flags goroutines launched in library packages with no
+// visible join protocol. An unjoined goroutine outlives the work it serves:
+// the daemon's graceful drain can return while it still touches a session,
+// tests pass while it races the next one, and under -race the schedule that
+// exposes it may never occur. Every sanctioned launch in this repository is
+// tied back to a waiter somehow — sync.WaitGroup Add/Done/Wait, a result or
+// done channel, or a context — so the rule asks only that the goroutine's
+// body (or, via the call graph, anything it statically calls) communicates:
+//
+//   - a WaitGroup Done/Wait or Cond signal,
+//   - any channel operation (send, receive, close, range, select),
+//   - a context.Context consultation,
+//
+// or that the launch itself hands the goroutine a join handle (a channel,
+// context, or *sync.WaitGroup argument). Fire-and-forget computation with
+// none of those is unobservable by construction and gets flagged.
+func checkGoroLeak(a *Analysis, p *Package, report func(pos token.Pos, format string, args ...any)) {
+	walkFiles(p, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goStmtJoined(a, p, gs) {
+			return true
+		}
+		report(gs.Go, "goroutine has no visible join (no WaitGroup Done/Wait, channel operation, or context reachable from its body); tie it to a waiter so drains and tests can prove it finished")
+		return true
+	})
+}
+
+// goStmtJoined reports whether the launch is observably joined.
+func goStmtJoined(a *Analysis, p *Package, gs *ast.GoStmt) bool {
+	// A join handle passed at launch counts: `go worker(results)` or
+	// `go run(ctx, ...)`.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && isJoinHandleType(tv.Type) {
+			return true
+		}
+	}
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if bodyCommunicates(p, fun.Body) {
+			return true
+		}
+		// The closure may delegate the protocol to helpers: follow its
+		// static calls through the graph.
+		joined := false
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			if joined {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee, _, _ := resolveCall(p, call); callee != nil && a.Graph.Communicates(callee) {
+				joined = true
+			}
+			return true
+		})
+		return joined
+	default:
+		callee, _, _ := resolveCall(p, gs.Call)
+		if callee == nil {
+			// Dynamic launch (function value, interface method): the body is
+			// invisible to static analysis; stay conservative and trust it.
+			return true
+		}
+		return a.Graph.Communicates(callee)
+	}
+}
+
+// isJoinHandleType reports whether t can carry a join protocol across the
+// launch: a channel, a *sync.WaitGroup, or a context.Context.
+func isJoinHandleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (pkg == "sync" && name == "WaitGroup") || (pkg == "context" && name == "Context")
+}

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkLockHeld polices critical sections two ways.
+//
+// First, blocking-while-locked: a mutex held across a channel send/receive,
+// a blocking select, or a sync.WaitGroup/Cond wait couples the lock's hold
+// time to another goroutine's progress — the shape of every execMu-style
+// deadlock (the daemon's batcher blocks on a saturated worker channel while
+// a worker needs the lock to drain). The scan is linear per function scope:
+// Lock/RLock adds the receiver expression to the held set, Unlock/RUnlock
+// removes it, `defer x.Unlock()` holds to function end, and a `return`
+// clears the set (branch-local lock+return idioms stay clean). Function
+// literals are separate scopes: a closure's body runs under its caller's
+// lock state, not its definition site's, so it is scanned on its own.
+//
+// Second, guarded fields: a struct field annotated
+//
+//	// guarded by: mu
+//
+// must only be read or written in functions that visibly lock that mutex
+// (any `….mu.Lock()` / RLock in the enclosing declaration), or while the
+// enclosing function is still constructing the value (the dataflow layer
+// proves the variable originates from a composite literal in this
+// function, so it cannot be shared yet). Helper functions that rely on the
+// caller's lock carry an explicit //schedlint:ignore lockheld audit line.
+func checkLockHeld(a *Analysis, p *Package, report func(pos token.Pos, format string, args ...any)) {
+	guarded := collectGuardedFields(p)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncDecl:
+				if e.Body != nil {
+					scanLockScope(p, e.Body, report)
+					checkGuardedAccesses(p, e, e.Body, guarded, report)
+				}
+				return true
+			case *ast.FuncLit:
+				scanLockScope(p, e.Body, report)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+// blockingOp describes one operation that can block while a lock is held.
+func blockingOp(p *Package, n ast.Node) (token.Pos, string) {
+	switch e := n.(type) {
+	case *ast.SendStmt:
+		return e.Arrow, "channel send"
+	case *ast.UnaryExpr:
+		if e.Op == token.ARROW {
+			return e.OpPos, "channel receive"
+		}
+	case *ast.RangeStmt:
+		if tv, ok := p.Info.Types[e.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				return e.Range, "range over channel"
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range e.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				return token.NoPos, "" // has default: non-blocking
+			}
+		}
+		return e.Select, "blocking select"
+	case *ast.CallExpr:
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			if isSyncMethod(p, sel, "WaitGroup", "Wait") {
+				return e.Pos(), "sync.WaitGroup.Wait"
+			}
+			if isSyncMethod(p, sel, "Cond", "Wait") {
+				return e.Pos(), "sync.Cond.Wait"
+			}
+			if pkg, name, ok := pkgMember(p.Info, sel); ok && pkg == "time" && name == "Sleep" {
+				return e.Pos(), "time.Sleep"
+			}
+		}
+	}
+	return token.NoPos, ""
+}
+
+// scanLockScope walks one function scope in source order, tracking which
+// mutexes are held and reporting blocking operations inside critical
+// sections. Nested function literals are skipped — each is its own scope.
+func scanLockScope(p *Package, body *ast.BlockStmt, report func(pos token.Pos, format string, args ...any)) {
+	held := make(map[string]int) // mutex expression → line locked at
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, scanned on its own
+		case *ast.ReturnStmt:
+			// Leaving the function releases everything (deferred Unlocks run,
+			// branch-local sections end).
+			clear(held)
+			return true
+		case *ast.SelectStmt:
+			// The select is the blocking point; the channel ops inside its
+			// comm clauses are cases of it, not standalone operations. Report
+			// the select itself when blocking, then scan only the clause
+			// bodies.
+			if len(held) > 0 {
+				if pos, what := blockingOp(p, e); what != "" {
+					mutex, line := oneHeld(held)
+					report(pos, "%s while holding %s (locked at line %d); a goroutine blocked here couples the critical section to another goroutine's progress — move the operation outside the lock", what, mutex, line)
+				}
+			}
+			for _, c := range e.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					for _, st := range cc.Body {
+						ast.Inspect(st, walk)
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if mutex, op, ok := lockOp(p, e); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[mutex] = p.Fset.Position(e.Pos()).Line
+				case "Unlock", "RUnlock":
+					delete(held, mutex)
+				}
+				return true
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock(): the lock stays held for the remainder of
+			// the scan, which is the point — walk past it without treating
+			// the call as a release.
+			if _, op, ok := lockOp(p, e.Call); ok && (op == "Unlock" || op == "RUnlock") {
+				return false
+			}
+			return true
+		}
+		if len(held) == 0 {
+			return true
+		}
+		if pos, what := blockingOp(p, n); what != "" {
+			mutex, line := oneHeld(held)
+			report(pos, "%s while holding %s (locked at line %d); a goroutine blocked here couples the critical section to another goroutine's progress — move the operation outside the lock", what, mutex, line)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// oneHeld picks the lexically smallest held mutex for a stable message.
+func oneHeld(held map[string]int) (string, int) {
+	best := ""
+	for m := range held {
+		if best == "" || m < best {
+			best = m
+		}
+	}
+	return best, held[best]
+}
+
+// lockOp matches a call of the form expr.Lock/Unlock/RLock/RUnlock where
+// expr's type is sync.Mutex or sync.RWMutex, returning the printed mutex
+// expression and the operation name.
+func lockOp(p *Package, call *ast.CallExpr) (mutex, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	op = sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	pkg, name, isNamed := typeNamedIn(p, sel.X)
+	if !isNamed || pkg != "sync" || (name != "Mutex" && name != "RWMutex") {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), op, true
+}
+
+// guardedField records one "// guarded by: mu" annotation.
+type guardedField struct {
+	mutex string // bare mutex field/variable name
+}
+
+// collectGuardedFields parses guarded-by comments on struct fields. The
+// annotation is the doc or trailing comment of the field:
+//
+//	// guarded by: execMu
+//	session *online.Session
+func collectGuardedFields(p *Package) map[*types.Var]guardedField {
+	out := make(map[*types.Var]guardedField)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutex := guardAnnotation(field.Doc) // doc comment above
+				if mutex == "" {
+					mutex = guardAnnotation(field.Comment) // trailing
+				}
+				if mutex == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := p.Info.Defs[name].(*types.Var); ok {
+						out[v] = guardedField{mutex: mutex}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a "guarded by: mu" comment
+// group, tolerating prose around it ("// guarded by: mu (see batchLoop)").
+func guardAnnotation(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.ToLower(c.Text)
+		idx := strings.Index(text, "guarded by:")
+		if idx < 0 {
+			continue
+		}
+		rest := c.Text[idx+len("guarded by:"):]
+		fields := strings.FieldsFunc(rest, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == '(' || r == ')' || r == ',' || r == '.' || r == ';'
+		})
+		if len(fields) > 0 {
+			return fields[0]
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses reports selector accesses to guarded fields in
+// functions that never lock the guarding mutex and are not constructing the
+// value.
+func checkGuardedAccesses(p *Package, decl *ast.FuncDecl, body *ast.BlockStmt, guarded map[*types.Var]guardedField, report func(pos token.Pos, format string, args ...any)) {
+	if len(guarded) == 0 {
+		return
+	}
+	locked := lockedMutexNames(p, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guarded[v]
+		if !ok {
+			return true
+		}
+		if locked[g.mutex] {
+			return true
+		}
+		if root := rootIdent(sel.X); root != nil && constructsLocally(p, body, root) {
+			return true // still building the value; not shared yet
+		}
+		report(sel.Sel.Pos(), "field %s is marked `guarded by: %s` but %s is never locked in this function; lock it, or carry the caller-holds contract as an audited suppression", types.ExprString(sel), g.mutex, g.mutex)
+		return true
+	})
+}
+
+// lockedMutexNames collects the bare final names of every mutex this
+// declaration locks anywhere (including in nested literals): s.execMu.Lock()
+// yields "execMu". Position-insensitive by design — the linear blocking scan
+// handles ordering; the guarded-field check only asks "does this function
+// participate in the locking discipline at all".
+func lockedMutexNames(p *Package, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		mutex, op, ok := lockOp(p, call)
+		if !ok || (op != "Lock" && op != "RLock") {
+			return true
+		}
+		if i := strings.LastIndexByte(mutex, '.'); i >= 0 {
+			mutex = mutex[i+1:]
+		}
+		out[mutex] = true
+		return true
+	})
+	return out
+}

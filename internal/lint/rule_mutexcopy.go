@@ -19,7 +19,7 @@ var syncLockTypes = map[string]bool{
 // slice, array, or map. It complements `go vet`'s copylocks so the invariant
 // holds even when vet is skipped, and so violations share schedlint's
 // suppression and JSON surface.
-func checkMutexCopy(p *Package, report func(pos token.Pos, format string, args ...any)) {
+func checkMutexCopy(_ *Analysis, p *Package, report func(pos token.Pos, format string, args ...any)) {
 	walkFiles(p, func(n ast.Node) bool {
 		switch e := n.(type) {
 		case *ast.FuncDecl:

@@ -4,36 +4,68 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // stdoutPrinters are the fmt functions that write to the process's stdout
 // directly. The Fprint/Sprint families are fine: writing to an injected
-// io.Writer is exactly what internal/report does.
+// io.Writer is exactly what internal/report does — unless the injected
+// writer is literally os.Stdout/os.Stderr, which the selector check below
+// catches.
 var stdoutPrinters = map[string]bool{
 	"Print": true, "Printf": true, "Println": true,
+}
+
+// logWriters are the package log functions that write to the process's
+// standard logger (stderr). Fatal* additionally calls os.Exit and Panic*
+// panics — a library package deciding to kill the process is worse than one
+// printing. Constructors (log.New) are fine: a logger over an injected
+// writer is sanctioned output.
+var logWriters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
 }
 
 // checkNoPrint keeps library packages from writing to stdout/stderr behind
 // the caller's back: a scheduler that prints corrupts papergen's CSV/SVG
 // pipelines and the daemon's logs. Rendering belongs in internal/report (or
-// any injected io.Writer); commands under cmd/ may print freely.
-func checkNoPrint(p *Package, report func(pos token.Pos, format string, args ...any)) {
+// any injected io.Writer); commands under cmd/ may print freely. Flagged
+// here: fmt.Print*, builtin print/println, log.Print*/Fatal*/Panic* (the
+// process-wide logger writes to stderr, and Fatal kills the process), and
+// any use of os.Stdout/os.Stderr — whether written to directly, passed to
+// fmt.Fprintf, or handed to a constructor.
+func checkNoPrint(_ *Analysis, p *Package, report func(pos token.Pos, format string, args ...any)) {
 	walkFiles(p, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch fun := call.Fun.(type) {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			switch fun := e.Fun.(type) {
+			case *ast.SelectorExpr:
+				if pkg, name, ok := pkgMember(p.Info, fun); ok {
+					switch {
+					case pkg == "fmt" && stdoutPrinters[name]:
+						report(e.Pos(), "fmt.%s writes to stdout from a library package; render through internal/report or an injected io.Writer", name)
+					case pkg == "log" && logWriters[name]:
+						extra := ""
+						if strings.HasPrefix(name, "Fatal") {
+							extra = " and exits the process"
+						} else if strings.HasPrefix(name, "Panic") {
+							extra = " and panics"
+						}
+						report(e.Pos(), "log.%s writes to the process-wide logger%s from a library package; accept an injected *log.Logger or io.Writer", name, extra)
+					}
+				}
+			case *ast.Ident:
+				if fun.Name != "print" && fun.Name != "println" {
+					return true
+				}
+				if _, isBuiltin := p.Info.Uses[fun].(*types.Builtin); isBuiltin {
+					report(e.Pos(), "builtin %s writes to stderr and is not part of the supported output surface; use internal/report", fun.Name)
+				}
+			}
 		case *ast.SelectorExpr:
-			if pkg, name, ok := pkgMember(p.Info, fun); ok && pkg == "fmt" && stdoutPrinters[name] {
-				report(call.Pos(), "fmt.%s writes to stdout from a library package; render through internal/report or an injected io.Writer", name)
-			}
-		case *ast.Ident:
-			if fun.Name != "print" && fun.Name != "println" {
-				return true
-			}
-			if _, isBuiltin := p.Info.Uses[fun].(*types.Builtin); isBuiltin {
-				report(call.Pos(), "builtin %s writes to stderr and is not part of the supported output surface; use internal/report", fun.Name)
+			if pkg, name, ok := pkgMember(p.Info, e); ok && pkg == "os" && (name == "Stdout" || name == "Stderr") {
+				report(e.Pos(), "os.%s referenced from a library package; take an injected io.Writer so callers own the output streams", name)
 			}
 		}
 		return true

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+)
+
+// checkRandShare enforces the PR 5 determinism model's first law: rand
+// streams are split, never shared, across goroutines. A *rand.Rand (or an
+// xrand.Source behind it) is a mutable cursor; two goroutines drawing from
+// one make every value depend on worker interleaving, which silently breaks
+// seed replay and the bit-identical-at-every-worker-count contract.
+//
+// The rule fires when a rand-typed value crosses a concurrency boundary by
+// capture or by argument:
+//
+//   - captured by the closure of a `go` statement,
+//   - captured by a callback passed to a fan-out function — a function
+//     whose parameter escapes onto a goroutine, detected interprocedurally
+//     (objective.ParallelFor, PopEvaluator worker pools, and any wrapper
+//     that forwards its callback into one),
+//   - passed as a direct argument in a `go f(rng)` launch.
+//
+// The sanctioned pattern passes clean: capture a plain integer seed and
+// derive a per-index child stream inside the closure (xrand.Stream(seed, i)
+// / xrand.New(seed, i) / rand.New(...)), because a value produced by a call
+// inside the closure is fresh by construction. Alias chains are followed
+// (`r2 := r` shares whatever r shares), and per-index reads of a pre-split
+// stream slice (streams[i]) are allowed — indexing is the materialized form
+// of splitting.
+func checkRandShare(a *Analysis, p *Package, report func(pos token.Pos, format string, args ...any)) {
+	seen := make(map[token.Pos]bool) // nested scopes can revisit a use; report once
+	flag := func(pos token.Pos, format string, args ...any) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		report(pos, format, args...)
+	}
+	walkFiles(p, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.GoStmt:
+			// Direct launch arguments: `go worker(rng)` hands the parent's
+			// stream to the new goroutine. Calls as arguments are fresh
+			// values (xrand.New(seed, i), src.Split() drawn serially at
+			// launch) and pass.
+			for _, arg := range e.Call.Args {
+				checkRandArg(p, arg, "`go` statement argument", flag)
+			}
+			if lit, ok := ast.Unparen(e.Call.Fun).(*ast.FuncLit); ok {
+				scanConcurrentClosure(p, lit, "goroutine closure", flag)
+			}
+		case *ast.CallExpr:
+			callee, _, _ := resolveCall(p, e)
+			if callee == nil {
+				return true
+			}
+			for i, arg := range e.Args {
+				if !a.Graph.ConcurrentArg(callee, i) {
+					continue
+				}
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					scanConcurrentClosure(p, lit, funcDisplayName(callee)+" callback", flag)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanConcurrentClosure reports every rand-typed value the closure reads
+// from its enclosing function — identifier captures, field chains rooted at
+// captured values (r.ctx.Rand), and aliases of either.
+func scanConcurrentClosure(p *Package, lit *ast.FuncLit, where string, report func(pos token.Pos, format string, args ...any)) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			obj, ok := p.Info.Uses[e].(*types.Var)
+			if !ok || obj.IsField() {
+				return true // field names are reported at their selector
+			}
+			if !isRandType(obj.Type()) {
+				return true
+			}
+			if capturedFrom(p, lit, e, 8) {
+				report(e.Pos(), "%s %s is shared with the %s; derive a per-index child stream inside it (xrand.Stream/xrand.New from a captured seed) instead",
+					randTypeName(obj.Type()), e.Name, where)
+			}
+		case *ast.SelectorExpr:
+			tv, ok := p.Info.Types[e]
+			if !ok || !isRandType(tv.Type) {
+				return true
+			}
+			root := rootIdent(e)
+			if root == nil {
+				return true // rooted at a call: produced inside the closure
+			}
+			if hasIndexStep(e) {
+				return true // streams[i].x: per-index read of a pre-split slice
+			}
+			if capturedFrom(p, lit, root, 8) {
+				report(e.Pos(), "%s %s reaches a stream shared with the %s; derive a per-index child stream inside it instead",
+					randTypeName(tv.Type), types.ExprString(e), where)
+			}
+			return false // the chain is reported once, at the outermost selector
+		}
+		return true
+	})
+}
+
+// checkRandArg flags a rand-typed launch argument that is an existing value
+// rather than a fresh derivation.
+func checkRandArg(p *Package, arg ast.Expr, where string, report func(pos token.Pos, format string, args ...any)) {
+	expr := ast.Unparen(arg)
+	switch expr.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+	default:
+		return // calls (xrand.New, src.Split()) and literals are fresh
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || !isRandType(tv.Type) {
+		return
+	}
+	if e, ok := expr.(*ast.SelectorExpr); ok && hasIndexStep(e) {
+		return
+	}
+	report(expr.Pos(), "%s %s handed to a goroutine as a %s; pass a per-goroutine child stream (xrand.New/Stream, or Split before launch) instead",
+		randTypeName(tv.Type), types.ExprString(expr), where)
+}
+
+// hasIndexStep reports whether the selector chain passes through an index
+// expression (streams[i], shards[k].rng): the per-slot read of a pre-split
+// collection, which is the materialized form of the split-don't-share rule.
+func hasIndexStep(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			return true
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isRandType reports whether t is a rand-stream type: *math/rand.Rand (v1 or
+// v2), the rand.Source/Source64 interfaces, or an xrand.Source (matched by
+// package basename so fixture modules hit it too).
+func isRandType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkgPath, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	switch pkgPath {
+	case "math/rand", "math/rand/v2":
+		return name == "Rand" || name == "Source" || name == "Source64" || name == "Zipf"
+	}
+	return path.Base(pkgPath) == "xrand" && name == "Source"
+}
+
+// randTypeName renders the offending type compactly for diagnostics.
+func randTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil && named.Obj().Pkg() != nil {
+		return "*" + named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	}
+	return t.String()
+}

@@ -19,7 +19,15 @@ var wallClockFuncs = map[string]bool{
 // only through the discrete-event engine's simulated clock (sim.Engine /
 // online.Session.Now). A wall-clock read in these packages makes makespan,
 // flow-time, and replayed traces depend on host speed and scheduling jitter.
-func checkSimClock(p *Package, report func(pos token.Pos, format string, args ...any)) {
+// The interprocedural pass extends the guarantee through helpers: a call
+// into an out-of-scope module package whose static call graph reaches
+// time.Now is flagged here, at the deterministic caller, with the witness
+// chain.
+func checkSimClock(a *Analysis, p *Package, report func(pos token.Pos, format string, args ...any)) {
+	reportTransitiveSinks(a, p, "simclock",
+		func(rel string) bool { return inScope(rel, deterministicPkgs) },
+		func(pkg, name string) bool { return pkg == "time" && wallClockFuncs[name] },
+		report)
 	walkFiles(p, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectorExpr)
 		if !ok {

@@ -199,6 +199,27 @@ func Shuffle(n int, swap func(i, j int))  {}
 func Read(p []byte) (n int, err error)    { return 0, nil }
 `,
 
+	"context": `package context
+
+import "time"
+
+type CancelFunc func()
+
+type Context interface {
+	Deadline() (deadline time.Time, ok bool)
+	Done() <-chan struct{}
+	Err() error
+	Value(key any) any
+}
+
+func Background() Context                                              { return nil }
+func TODO() Context                                                    { return nil }
+func WithCancel(parent Context) (Context, CancelFunc)                  { return nil, nil }
+func WithTimeout(parent Context, d time.Duration) (Context, CancelFunc) { return nil, nil }
+func WithDeadline(parent Context, t time.Time) (Context, CancelFunc)   { return nil, nil }
+func WithValue(parent Context, key, val any) Context                   { return nil }
+`,
+
 	"math": `package math
 
 const (

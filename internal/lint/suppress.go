@@ -27,6 +27,55 @@ type suppressionSet struct {
 	malformed []Diagnostic
 }
 
+// directiveResult classifies one comment parsed by parseIgnoreDirective.
+type directiveResult int
+
+const (
+	notDirective       directiveResult = iota // comment is not a suppression
+	directiveOK                               // valid: Rule carries the target
+	directiveMalformed                        // malformed: Problem carries the message
+)
+
+// parsedDirective is the outcome of parsing one comment text.
+type parsedDirective struct {
+	Kind    directiveResult
+	Rule    string // valid directives: the suppressed rule name (or "all")
+	Problem string // malformed directives: the diagnostic message
+}
+
+// parseIgnoreDirective parses a raw comment (exactly as the AST carries it,
+// comment markers included) as a //schedlint:ignore directive. It is a pure
+// function over the text — position handling stays in scanSuppressions — so
+// it can be fuzzed directly (FuzzSuppressDirective): for arbitrary input it
+// must never panic and must classify into exactly one of the three results,
+// with Rule resolving to a registered name (or "all") whenever Kind is
+// directiveOK. knownRule reports whether a rule name exists; parsing treats
+// it as an oracle so the fuzz target can substitute its own.
+func parseIgnoreDirective(raw string, knownRule func(string) bool) parsedDirective {
+	text := strings.TrimPrefix(raw, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return parsedDirective{Kind: notDirective}
+	}
+	fields := strings.Fields(rest)
+	switch {
+	case len(fields) == 0:
+		return parsedDirective{Kind: directiveMalformed,
+			Problem: "malformed suppression: want //schedlint:ignore <rule> <reason>"}
+	case fields[0] != "all" && !knownRule(fields[0]):
+		return parsedDirective{Kind: directiveMalformed,
+			Problem: fmt.Sprintf("suppression names unknown rule %q (known: %s)",
+				fields[0], strings.Join(append(RuleNames(), "all"), ", "))}
+	case len(fields) < 2:
+		return parsedDirective{Kind: directiveMalformed,
+			Problem: fmt.Sprintf("suppression of %s needs a reason: //schedlint:ignore %s <reason>", fields[0], fields[0])}
+	}
+	return parsedDirective{Kind: directiveOK, Rule: fields[0]}
+}
+
 // scanSuppressions parses every ignore directive in the package and
 // diagnoses malformed ones under the pseudo-rule "ignore"; relFile rewrites
 // raw position file names to the module-relative form diagnostics use.
@@ -36,45 +85,27 @@ func scanSuppressions(p *Package, relFile func(string) string) *suppressionSet {
 	for _, r := range registry {
 		known[r.Name] = true
 	}
+	knownRule := func(name string) bool { return known[name] }
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimPrefix(text, "/*")
-				text = strings.TrimSuffix(text, "*/")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, ignorePrefix)
-				if !ok {
+				d := parseIgnoreDirective(c.Text, knownRule)
+				if d.Kind == notDirective {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
 				file, line := pos.Filename, pos.Line
-				fields := strings.Fields(rest)
-				switch {
-				case len(fields) == 0:
+				if d.Kind == directiveMalformed {
 					s.malformed = append(s.malformed, Diagnostic{
 						File: relFile(file), Line: line, Col: pos.Column, Rule: "ignore",
-						Message: "malformed suppression: want //schedlint:ignore <rule> <reason>",
-					})
-					continue
-				case fields[0] != "all" && !known[fields[0]]:
-					s.malformed = append(s.malformed, Diagnostic{
-						File: relFile(file), Line: line, Col: pos.Column, Rule: "ignore",
-						Message: fmt.Sprintf("suppression names unknown rule %q (known: %s)",
-							fields[0], strings.Join(append(RuleNames(), "all"), ", ")),
-					})
-					continue
-				case len(fields) < 2:
-					s.malformed = append(s.malformed, Diagnostic{
-						File: relFile(file), Line: line, Col: pos.Column, Rule: "ignore",
-						Message: fmt.Sprintf("suppression of %s needs a reason: //schedlint:ignore %s <reason>", fields[0], fields[0]),
+						Message: d.Problem,
 					})
 					continue
 				}
 				if s.byLine[file] == nil {
 					s.byLine[file] = make(map[int][]suppression)
 				}
-				s.byLine[file][line] = append(s.byLine[file][line], suppression{rule: fields[0]})
+				s.byLine[file][line] = append(s.byLine[file][line], suppression{rule: d.Rule})
 			}
 		}
 	}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// FuzzSuppressDirective drives the pure directive parser with arbitrary
+// comment text. The parser sits on an untrusted boundary in the sense that
+// any contributor's comment reaches it, and a panic here would take down the
+// whole analysis (and with it the CI gate), so the invariants are:
+//
+//   - never panic, for any input;
+//   - classify into exactly one of {not-a-directive, ok, malformed};
+//   - a directive classified ok names a registered rule or "all" — typos can
+//     never silently disable a check;
+//   - inputs without the schedlint:ignore marker are never directives;
+//   - a valid directive is stable under comment-marker and whitespace
+//     wrapping (// vs /* */), since both comment forms carry directives.
+func FuzzSuppressDirective(f *testing.F) {
+	seeds := []string{
+		"//schedlint:ignore detrand seeded sentinel for fixtures",
+		"// schedlint:ignore all generated file",
+		"/*schedlint:ignore floateq exact-by-construction*/",
+		"//schedlint:ignore",
+		"//schedlint:ignore detrand",
+		"//schedlint:ignore nosuchrule because",
+		"// plain comment",
+		"//schedlint:ignoredetrand reason",
+		"//schedlint:ignore  detrand \t tab-separated reason",
+		"//SCHEDLINT:IGNORE detrand case matters",
+		"//schedlint:ignore all nbsp",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	known := func(name string) bool {
+		for _, r := range registry {
+			if r.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		d := parseIgnoreDirective(raw, known)
+		switch d.Kind {
+		case notDirective:
+			if d.Rule != "" || d.Problem != "" {
+				t.Fatalf("non-directive carries payload: %+v", d)
+			}
+		case directiveOK:
+			if d.Rule != "all" && !known(d.Rule) {
+				t.Fatalf("parser accepted unregistered rule %q from %q", d.Rule, raw)
+			}
+			if d.Problem != "" {
+				t.Fatalf("ok directive carries a problem: %+v", d)
+			}
+			// A rule name came out of strings.Fields: no spaces possible.
+			if strings.IndexFunc(d.Rule, unicode.IsSpace) >= 0 {
+				t.Fatalf("rule name contains whitespace: %q", d.Rule)
+			}
+		case directiveMalformed:
+			if d.Problem == "" {
+				t.Fatalf("malformed directive without a message from %q", raw)
+			}
+			if d.Rule != "" {
+				t.Fatalf("malformed directive carries a rule: %+v", d)
+			}
+		default:
+			t.Fatalf("impossible classification %d from %q", d.Kind, raw)
+		}
+
+		// Inputs that do not mention the marker can never be directives.
+		if !strings.Contains(raw, ignorePrefix) && d.Kind != notDirective {
+			t.Fatalf("input without %q classified as directive: %q → %+v", ignorePrefix, raw, d)
+		}
+
+		// Valid directives are stable under the other comment wrapping.
+		if d.Kind == directiveOK && strings.HasPrefix(raw, "//") {
+			wrapped := "/*" + strings.TrimPrefix(raw, "//") + "*/"
+			if d2 := parseIgnoreDirective(wrapped, known); d2.Kind != directiveOK || d2.Rule != d.Rule {
+				t.Fatalf("block-comment wrapping changed the parse: %q → %+v vs %q → %+v", raw, d, wrapped, d2)
+			}
+		}
+	})
+}

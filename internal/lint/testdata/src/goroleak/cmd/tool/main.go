@@ -1,0 +1,11 @@
+// Commands sit outside goroleak's internal/ scope: this fire-and-forget
+// launch must stay clean.
+package main
+
+func main() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}

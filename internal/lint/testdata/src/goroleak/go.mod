@@ -1,0 +1,3 @@
+module fixture.example/goroleak
+
+go 1.22

@@ -1,0 +1,74 @@
+// Fixture for the goroleak rule: goroutines with no visible join protocol
+// are violations; WaitGroup discipline, channel operations (direct or via a
+// called helper), join-handle launch arguments, and dynamic launches are
+// clean. Expected diagnostics live in the lint_test.go table, keyed by line.
+package foo
+
+import "sync"
+
+// fireAndForget launches pure computation nothing can wait for: violation.
+func fireAndForget(xs []int) {
+	go func() {
+		s := 0
+		for _, x := range xs {
+			s += x
+		}
+		_ = s
+	}()
+}
+
+// viaHelper launches a helper that never communicates: violation.
+func viaHelper() {
+	go spin(100)
+}
+
+func spin(n int) {
+	for i := 0; i < n; i++ {
+		_ = i * i
+	}
+}
+
+// joined follows the WaitGroup protocol: clean.
+func joined(xs []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			total += x
+		}
+	}()
+	wg.Wait()
+	return total
+}
+
+// channelJoin sends its result on a channel: clean.
+func channelJoin() int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	return <-ch
+}
+
+// handleArg hands the goroutine a channel at launch: clean.
+func handleArg() <-chan int {
+	ch := make(chan int, 1)
+	go produce(ch)
+	return ch
+}
+
+func produce(ch chan int) { ch <- 1 }
+
+// transitive delegates the join protocol to a called helper: clean (the
+// call graph proves produce communicates).
+func transitive(ch chan int) {
+	go func() {
+		produce(ch)
+	}()
+}
+
+// dynamic launches through a function value; the body is invisible to static
+// analysis, so the rule stays conservative: clean.
+func dynamic(fn func()) {
+	go fn()
+}

@@ -1,0 +1,3 @@
+module fixture.example/interproc
+
+go 1.22

@@ -1,0 +1,18 @@
+// Fixture for the interprocedural detrand pass: a deterministic package
+// calling a helper whose static call graph reaches the global rand source is
+// flagged at the call site, with the witness chain. Expected diagnostics
+// live in the lint_test.go table, keyed by line.
+package sched
+
+import "fixture.example/interproc/internal/util"
+
+// jittered imports nondeterminism through util.Jitter: violation (detrand)
+// at the call.
+func jittered(n int) int {
+	return util.Jitter(n)
+}
+
+// pure calls a sink-free helper: clean.
+func pure(a, b int) int {
+	return util.Pure(a, b)
+}

@@ -1,0 +1,18 @@
+// Fixture for the interprocedural simclock pass: the wall-clock read is two
+// module calls away (util.Wrap → util.stamp → time.Now), and the violation
+// lands on the simulation package's call site with that witness chain.
+// Expected diagnostics live in the lint_test.go table, keyed by line.
+package sim
+
+import "fixture.example/interproc/internal/util"
+
+// stamped reaches time.Now through two hops: violation (simclock) at the
+// call.
+func stamped() int64 {
+	return util.Wrap()
+}
+
+// bounded calls the same helper package's sink-free function: clean.
+func bounded(a, b int) int {
+	return util.Pure(a, b)
+}

@@ -1,0 +1,26 @@
+// Package util sits outside the deterministic set: it may read the clock
+// and the global rand source itself, but a deterministic package calling
+// into it imports the nondeterminism — which the interprocedural pass must
+// pin on the caller.
+package util
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the process-wide source: a one-hop rand sink.
+func Jitter(n int) int { return rand.Intn(n) }
+
+// Wrap reaches time.Now through a second hop (stamp).
+func Wrap() int64 { return stamp() }
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+// Pure reaches no sink: calls to it stay clean everywhere.
+func Pure(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

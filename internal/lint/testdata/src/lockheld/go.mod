@@ -1,0 +1,3 @@
+module fixture.example/lockheld
+
+go 1.22

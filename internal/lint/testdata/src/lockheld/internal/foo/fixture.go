@@ -1,0 +1,121 @@
+// Fixture for the lockheld rule: blocking operations inside critical
+// sections and unguarded accesses to `guarded by:` fields are violations;
+// branch-local lock+return idioms, closures as separate scopes, and
+// constructor-time field access are clean. Expected diagnostics live in the
+// lint_test.go table, keyed by line.
+package foo
+
+import (
+	"sync"
+	"time"
+)
+
+type queue struct {
+	mu sync.Mutex
+	// guarded by: mu
+	items []int
+	out   chan int
+}
+
+// sendWhileLocked performs a channel send inside the critical section:
+// violation at the send.
+func (q *queue) sendWhileLocked(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.out <- v
+	q.mu.Unlock()
+}
+
+// sendAfterUnlock releases before sending: clean.
+func (q *queue) sendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.out <- v
+}
+
+// deferHolds keeps the lock through a deferred Unlock, so the receive still
+// happens under it: violation.
+func (q *queue) deferHolds() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	v := <-q.out
+	_ = q.items
+	return v
+}
+
+// waitWhileLocked parks on a WaitGroup inside the critical section:
+// violation.
+func (q *queue) waitWhileLocked(wg *sync.WaitGroup) {
+	q.mu.Lock()
+	wg.Wait()
+	q.mu.Unlock()
+}
+
+// sleepWhileLocked sleeps inside the critical section: violation.
+func (q *queue) sleepWhileLocked() {
+	q.mu.Lock()
+	time.Sleep(time.Millisecond)
+	q.mu.Unlock()
+}
+
+// selects: the blocking select violates; the one with a default is clean.
+func (q *queue) selects() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.out:
+		return v
+	}
+}
+
+func (q *queue) trySelect() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case v := <-q.out:
+		return v
+	default:
+		return -1
+	}
+}
+
+// tryPop is the branch-local lock+return idiom: clean.
+func (q *queue) tryPop() (int, bool) {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		return 0, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	q.mu.Unlock()
+	q.out <- v
+	return v, true
+}
+
+// closureScope returns a closure: its body runs under the caller's lock
+// state, not this function's, so the send inside it is clean here.
+func (q *queue) closureScope() func(int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return func(v int) {
+		q.out <- v
+	}
+}
+
+// peek reads the guarded field without ever locking mu: violations at both
+// accesses.
+func (q *queue) peek() int {
+	if len(q.items) == 0 {
+		return -1
+	}
+	return q.items[0]
+}
+
+// newQueue is still constructing the value, so the guarded write is clean.
+func newQueue() *queue {
+	q := &queue{out: make(chan int, 1)}
+	q.items = make([]int, 0, 8)
+	return q
+}

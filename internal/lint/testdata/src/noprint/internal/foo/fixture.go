@@ -1,14 +1,18 @@
 // Fixture for the noprint rule: stdout/stderr writes from library packages
-// are violations; Sprintf/Fprintf to an injected writer are not. Expected
-// diagnostics live in the lint_test.go table, keyed by line.
+// are violations — fmt.Print*, builtin println, log.Print*/Fatal*, and any
+// reference to os.Stdout/os.Stderr; Sprintf/Fprintf to an injected writer
+// are not. Expected diagnostics live in the lint_test.go table, keyed by
+// line.
 package foo
 
 import (
 	"fmt"
 	"io"
+	"log"
+	"os"
 )
 
-// chatty writes to stdout/stderr behind the caller's back: lines 14, 15, 16
+// chatty writes to stdout/stderr behind the caller's back: lines 18, 19, 20
 // violate.
 func chatty(n int) {
 	fmt.Println("n =", n)
@@ -30,4 +34,24 @@ func (logger) println(args ...any) {}
 func viaMethod() {
 	var l logger
 	l.println("fine")
+}
+
+// logging writes to the process-wide logger: lines 42, 43 violate (and
+// Fatal additionally kills the process).
+func logging(err error) {
+	log.Printf("x: %v", err)
+	log.Fatalln(err)
+}
+
+// streams reaches for the process streams directly: lines 49, 50 violate
+// (one finding per os.Std* reference).
+func streams() {
+	fmt.Fprintf(os.Stdout, "hi\n")
+	w := os.Stderr
+	_ = w
+}
+
+// injectedLogger writes through a caller-supplied logger: clean.
+func injectedLogger(lg *log.Logger, n int) {
+	lg.Printf("%d", n)
 }

@@ -1,0 +1,3 @@
+module fixture.example/randshare
+
+go 1.22

@@ -1,0 +1,23 @@
+// Package parallel is a miniature objective.ParallelFor: its callback
+// parameter escapes onto worker goroutines, which the engine's fan-out
+// analysis must discover (directly for For, transitively for Map).
+package parallel
+
+import "sync"
+
+// For runs fn(i) for every i in [0, n) across goroutines.
+func For(n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Map forwards its callback into For: the concurrent-parameter mark must
+// propagate through this wrapper.
+func Map(n int, fn func(i int)) { For(n, fn) }

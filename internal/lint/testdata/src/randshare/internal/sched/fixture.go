@@ -1,0 +1,121 @@
+// Fixture for the randshare rule: rand streams crossing a concurrency
+// boundary by capture or argument are violations; deriving per-index child
+// streams inside the concurrent scope, and per-index reads of pre-split
+// stream slices, are the sanctioned patterns. Expected diagnostics live in
+// the lint_test.go table, keyed by line.
+package sched
+
+import (
+	"math/rand"
+
+	"fixture.example/randshare/internal/parallel"
+	"fixture.example/randshare/internal/xrand"
+)
+
+// sharedGoClosure captures the parent's *rand.Rand in a goroutine closure:
+// violation at the use of r.
+func sharedGoClosure(r *rand.Rand, done chan struct{}) {
+	go func() {
+		_ = r.Intn(10)
+		close(done)
+	}()
+}
+
+// sharedCallback captures an xrand.Source in a ParallelFor-style callback:
+// violation (For's fn parameter escapes onto worker goroutines).
+func sharedCallback(src *xrand.Source, n int) {
+	parallel.For(n, func(i int) {
+		_ = src.Uint64()
+	})
+}
+
+// sharedViaMap proves the fan-out mark propagates through wrappers:
+// violation inside a Map callback.
+func sharedViaMap(src *xrand.Source, n int) {
+	parallel.Map(n, func(i int) {
+		_ = src.Float64()
+	})
+}
+
+// aliased shares through an alias chain: both the aliasing read of r and the
+// use of r2 violate.
+func aliased(r *rand.Rand, done chan struct{}) {
+	go func() {
+		r2 := r
+		_ = r2.Intn(3)
+		close(done)
+	}()
+}
+
+// launchArg hands the stream over as a `go` argument: violation at r.
+func launchArg(r *rand.Rand, done chan struct{}) {
+	go consume(r, done)
+}
+
+func consume(r *rand.Rand, done chan struct{}) {
+	_ = r.Intn(5)
+	close(done)
+}
+
+type config struct {
+	Rng *xrand.Source
+}
+
+// fieldChain reaches a shared stream through a captured struct: violation at
+// cfg.Rng.
+func fieldChain(cfg *config, n int) {
+	parallel.For(n, func(i int) {
+		_ = cfg.Rng.Uint64()
+	})
+}
+
+// splitPerIndex derives a child stream inside each callback: clean (the PR 5
+// determinism model's sanctioned pattern).
+func splitPerIndex(seed uint64, n int) {
+	parallel.For(n, func(i int) {
+		src := xrand.Stream(seed, i)
+		_ = src.Uint64()
+	})
+}
+
+// freshInside builds a generator inside the goroutine from a captured plain
+// seed: clean.
+func freshInside(seed int64, done chan struct{}) {
+	go func() {
+		r := rand.New(rand.NewSource(seed))
+		_ = r.Intn(4)
+		close(done)
+	}()
+}
+
+// preSplit reads a pre-split stream slice per index: clean (indexing is the
+// materialized form of splitting).
+func preSplit(seed uint64, n int) {
+	streams := make([]*xrand.Source, n)
+	for i := range streams {
+		streams[i] = xrand.Stream(seed, i)
+	}
+	parallel.For(n, func(i int) {
+		_ = streams[i].Uint64()
+	})
+}
+
+type shard struct{ rng *xrand.Source }
+
+// shardRead reaches a stream through an indexed shard: clean.
+func shardRead(shards []shard, n int) {
+	parallel.For(n, func(i int) {
+		_ = shards[i].rng.Uint64()
+	})
+}
+
+// launchFresh passes a freshly derived child at launch: clean (calls are
+// fresh values).
+func launchFresh(seed uint64, done chan struct{}) {
+	go consumeSrc(xrand.Stream(seed, 1), done)
+}
+
+func consumeSrc(s *xrand.Source, done chan struct{}) {
+	_ = s.Uint64()
+	close(done)
+}

@@ -1,0 +1,16 @@
+// Package xrand mirrors the repository's splittable-stream package closely
+// enough for the randshare rule's type matching (package basename "xrand",
+// type Source).
+package xrand
+
+// Source is a deterministic stream cursor.
+type Source struct{ state uint64 }
+
+// Stream derives the i-th child stream of seed.
+func Stream(seed uint64, i int) *Source { return &Source{state: seed ^ uint64(i)*0x9e3779b97f4a7c15} }
+
+// Uint64 advances the cursor.
+func (s *Source) Uint64() uint64 { s.state++; return s.state }
+
+// Float64 draws a float in [0, 1).
+func (s *Source) Float64() float64 { return float64(s.Uint64()%1000) / 1000 }

@@ -37,7 +37,8 @@ type shard struct {
 	// online policies, broker submission, engine runs). Batch mapping runs
 	// outside it, so cfg.Workers schedulers can search concurrently while
 	// exactly one batch executes per shard.
-	execMu  sync.Mutex
+	execMu sync.Mutex
+	// guarded by: execMu
 	session *online.Session
 
 	// Batch-mode state: one scheduler instance and rand per worker, since
@@ -252,6 +253,7 @@ func (sh *shard) mapAndExecute(worker int, subs []*submission, cls []*cloud.Clou
 // applyDeadlines converts relative SLA bounds to the shard session's
 // absolute simulated clock at hand-off time. Caller holds execMu.
 func (sh *shard) applyDeadlines(subs []*submission) {
+	//schedlint:ignore lockheld caller-holds contract: both mapAndExecute call sites enter with execMu held
 	now := sh.session.Now()
 	for _, sub := range subs {
 		if sub.deadline > 0 {

@@ -8,7 +8,14 @@
 # the parallel kernels (aco/hbo/rbs/ga/objective) and the sharded daemon
 # (internal/service at 2/4 shards), and a short fuzz smoke over the
 # untrusted-input boundaries (the daemon's JSON submit decoder, the CSV
-# workload trace parser, and the columnar binary trace reader/converter).
+# workload trace parser, the columnar binary trace reader/converter, and
+# schedlint's suppression-directive parser).
+#
+# schedlint runs with the committed baseline (.schedlint.baseline.json):
+# findings recorded there are tolerated while being burned down; anything
+# new fails the gate. The baseline may only shrink — a committed entry that
+# no longer matches a real finding also fails (stale-entry guard below),
+# and CI separately rejects PRs that grow the file.
 #
 # Targets:
 #   verify.sh              full gate (default)
@@ -41,7 +48,16 @@ esac
 
 go build ./...
 go vet ./...
-go run ./cmd/schedlint ./...
+go run ./cmd/schedlint -baseline .schedlint.baseline.json ./...
+
+# Baseline hygiene: every committed entry must still correspond to a real
+# finding — the baseline can only shrink, never pad. (grep -c prints 0 on
+# no matches but exits 1; the || : keeps set -e happy.)
+go run ./cmd/schedlint -write-baseline schedlint.current.baseline.json ./...
+current=$(grep -c '"file"' schedlint.current.baseline.json || :)
+committed=$(grep -c '"file"' .schedlint.baseline.json || :)
+rm -f schedlint.current.baseline.json
+[ "$committed" -le "$current" ] || { echo "stale baseline: $committed committed entries but only $current real finding(s); regenerate with -write-baseline" >&2; exit 1; }
 
 # Full suite with coverage. The run's own per-package summary feeds the
 # floors below; coverage.out is uploaded as a CI artifact. (Redirect rather
@@ -88,5 +104,8 @@ go test -run='^$' -fuzz=FuzzReadTrace -fuzztime=5s ./internal/workload
 # and arbitrary bytes through the binary opener/reader never panic.
 go test -run='^$' -fuzz=FuzzColumnarRoundTrip -fuzztime=5s ./internal/tracecol
 go test -run='^$' -fuzz=FuzzReadColumnar -fuzztime=5s ./internal/tracecol
+# Suppression-directive boundary: arbitrary comment text through schedlint's
+# //schedlint:ignore parser never panics and never silently disables a rule.
+go test -run='^$' -fuzz=FuzzSuppressDirective -fuzztime=5s ./internal/lint
 
 bench_smoke
