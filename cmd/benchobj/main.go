@@ -1,0 +1,254 @@
+// Command benchobj assembles BENCH_objective.json from `go test -bench`
+// logs of the objective-evaluation layer, recording every benchmark with
+// kernel-on and kernel-off columns side by side.
+//
+// Three logs feed it:
+//
+//   - -kernels: the internal/objective/kernel micro-benchmarks, whose
+//     sub-benchmark names already carry the /kernel=on|off dispatch leaf;
+//   - -on / -off: the same macro benchmark selection run twice, once with
+//     the dispatch layer picking the fastest kernel and once under
+//     CLOUDSCHED_NOSIMD=1 (scalar reference).
+//
+// The historical "schedulers" and "acceptance" sections of an existing
+// record (-base) are preserved verbatim — they compare against the growth
+// seed, which re-running today's benches cannot reproduce.
+//
+// Usage (see scripts/bench_objective.sh):
+//
+//	benchobj -kernels micro.log -on on.log -off off.log \
+//	         -base BENCH_objective.json -out BENCH_objective.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// row accumulates the two dispatch columns of one benchmark.
+type row struct {
+	on, off float64
+}
+
+type environment struct {
+	Goos   string `json:"goos"`
+	Goarch string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	Cores  int    `json:"cores"`
+	Go     string `json:"go"`
+}
+
+// normalizeName strips the trailing -GOMAXPROCS suffix the bench runner
+// appends when GOMAXPROCS != 1. The only digit-final leaves in the
+// objective selection are that suffix, so a bare strip is unambiguous
+// (kernel=on|off leaves never end in a digit).
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalizeName(name string) string {
+	return gomaxprocsSuffix.ReplaceAllString(name, "")
+}
+
+// parseLog reads one bench log into name -> ns/op, folding environment
+// header lines into env as they appear.
+func parseLog(r io.Reader, env *environment) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			env.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			env.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			env.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		out[normalizeName(m[1])] = ns
+	}
+	return out, sc.Err()
+}
+
+// mergeKernelLog folds a micro-benchmark log whose names end in a
+// /kernel=on|off leaf into per-benchmark rows.
+func mergeKernelLog(results map[string]float64, rows map[string]*row) {
+	for name, ns := range results {
+		base, mode, ok := splitKernelLeaf(name)
+		if !ok {
+			continue
+		}
+		r := rows[base]
+		if r == nil {
+			r = &row{}
+			rows[base] = r
+		}
+		if mode == "on" {
+			r.on = ns
+		} else {
+			r.off = ns
+		}
+	}
+}
+
+func splitKernelLeaf(name string) (base, mode string, ok bool) {
+	switch {
+	case strings.HasSuffix(name, "/kernel=on"):
+		return strings.TrimSuffix(name, "/kernel=on"), "on", true
+	case strings.HasSuffix(name, "/kernel=off"):
+		return strings.TrimSuffix(name, "/kernel=off"), "off", true
+	}
+	return "", "", false
+}
+
+// mergeOnOffLogs pairs the two macro logs by benchmark name.
+func mergeOnOffLogs(on, off map[string]float64, rows map[string]*row) {
+	for name, ns := range on {
+		r := rows[name]
+		if r == nil {
+			r = &row{}
+			rows[name] = r
+		}
+		r.on = ns
+	}
+	for name, ns := range off {
+		r := rows[name]
+		if r == nil {
+			r = &row{}
+			rows[name] = r
+		}
+		r.off = ns
+	}
+}
+
+// record builds the kernels section: both columns plus the off/on ratio,
+// so a kernel that loses to scalar reads as a speedup below 1x rather
+// than being hidden.
+func record(rows map[string]*row) map[string]any {
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := map[string]any{}
+	for _, n := range names {
+		r := rows[n]
+		entry := map[string]any{}
+		if r.on > 0 {
+			entry["kernel_on_ns_op"] = r.on
+		}
+		if r.off > 0 {
+			entry["kernel_off_ns_op"] = r.off
+		}
+		if r.on > 0 && r.off > 0 {
+			entry["speedup"] = fmt.Sprintf("%.2fx", r.off/r.on)
+		}
+		out[n] = entry
+	}
+	return out
+}
+
+func run(kernelsPath, onPath, offPath, basePath, outPath, desc string, now time.Time) error {
+	env := environment{Cores: runtime.GOMAXPROCS(0), Go: runtime.Version()}
+	rows := map[string]*row{}
+
+	if kernelsPath != "" {
+		results, err := parseFile(kernelsPath, &env)
+		if err != nil {
+			return err
+		}
+		mergeKernelLog(results, rows)
+	}
+	var on, off map[string]float64
+	var err error
+	if onPath != "" {
+		if on, err = parseFile(onPath, &env); err != nil {
+			return err
+		}
+	}
+	if offPath != "" {
+		if off, err = parseFile(offPath, &env); err != nil {
+			return err
+		}
+	}
+	mergeOnOffLogs(on, off, rows)
+	if len(rows) == 0 {
+		return fmt.Errorf("no benchmark results found in inputs")
+	}
+
+	rec := map[string]any{}
+	if basePath != "" {
+		if buf, err := os.ReadFile(basePath); err == nil {
+			var base map[string]any
+			if err := json.Unmarshal(buf, &base); err != nil {
+				return fmt.Errorf("base record %s: %v", basePath, err)
+			}
+			// Historical seed comparisons cannot be re-measured; carry
+			// them forward untouched.
+			for _, k := range []string{"schedulers", "acceptance"} {
+				if v, ok := base[k]; ok {
+					rec[k] = v
+				}
+			}
+		}
+	}
+	rec["description"] = desc
+	rec["date"] = now.Format("2006-01-02")
+	rec["environment"] = env
+	rec["kernels"] = record(rows)
+
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d kernel rows)\n", outPath, len(rows))
+	return nil
+}
+
+func parseFile(path string, env *environment) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseLog(f, env)
+}
+
+func main() {
+	kernels := flag.String("kernels", "", "bench log whose names carry /kernel=on|off leaves (internal/objective/kernel)")
+	on := flag.String("on", "", "macro bench log with the kernel dispatch layer active")
+	off := flag.String("off", "", "macro bench log run under CLOUDSCHED_NOSIMD=1")
+	base := flag.String("base", "", "existing record whose schedulers/acceptance sections are preserved")
+	out := flag.String("out", "BENCH_objective.json", "output path")
+	desc := flag.String("desc", "", "description embedded in the record")
+	flag.Parse()
+	if *kernels == "" && *on == "" && *off == "" {
+		fmt.Fprintln(os.Stderr, "benchobj: nothing to do; pass -kernels and/or -on/-off logs")
+		os.Exit(2)
+	}
+	if err := run(*kernels, *on, *off, *base, *out, *desc, time.Now()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchobj:", err)
+		os.Exit(1)
+	}
+}

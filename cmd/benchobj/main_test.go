@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const microLog = `goos: linux
+goarch: amd64
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCumSum/kernel=on         	    6976	      1457 ns/op
+BenchmarkCumSum/kernel=off        	    9540	      1286 ns/op
+BenchmarkMaxIndexed/kernel=on-4   	  974666	        13.00 ns/op
+BenchmarkMaxIndexed/kernel=off-4  	  739704	        14.94 ns/op
+PASS
+`
+
+func TestMergeKernelLogPairsDispatchLeaves(t *testing.T) {
+	var env environment
+	results, err := parseLog(strings.NewReader(microLog), &env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Goos != "linux" || !strings.Contains(env.CPU, "Xeon") {
+		t.Fatalf("environment header not parsed: %+v", env)
+	}
+	rows := map[string]*row{}
+	mergeKernelLog(results, rows)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	// GOMAXPROCS-suffixed and bare leaves both pair up.
+	if r := rows["BenchmarkMaxIndexed"]; r == nil || r.on != 13.00 || r.off != 14.94 {
+		t.Fatalf("MaxIndexed row = %+v", rows["BenchmarkMaxIndexed"])
+	}
+	if r := rows["BenchmarkCumSum"]; r == nil || r.on != 1457 || r.off != 1286 {
+		t.Fatalf("CumSum row = %+v", rows["BenchmarkCumSum"])
+	}
+}
+
+func TestRecordEmitsBothColumnsAndHonestRatio(t *testing.T) {
+	rows := map[string]*row{
+		"BenchmarkCumSum": {on: 2000, off: 1000}, // kernel LOSES: ratio below 1x
+		"BenchmarkOnOnly": {on: 500},
+	}
+	rec := record(rows)
+	cs := rec["BenchmarkCumSum"].(map[string]any)
+	if cs["kernel_on_ns_op"] != 2000.0 || cs["kernel_off_ns_op"] != 1000.0 {
+		t.Fatalf("columns = %v", cs)
+	}
+	if cs["speedup"] != "0.50x" {
+		t.Fatalf("losing kernel must read as sub-1x speedup, got %v", cs["speedup"])
+	}
+	oo := rec["BenchmarkOnOnly"].(map[string]any)
+	if _, there := oo["speedup"]; there {
+		t.Fatal("half-measured row must not fabricate a ratio")
+	}
+}
+
+func TestMergeOnOffLogsPairsByName(t *testing.T) {
+	rows := map[string]*row{}
+	mergeOnOffLogs(
+		map[string]float64{"BenchmarkObjectiveDense": 550, "BenchmarkObjectiveDelta": 10},
+		map[string]float64{"BenchmarkObjectiveDense": 600},
+		rows,
+	)
+	if r := rows["BenchmarkObjectiveDense"]; r.on != 550 || r.off != 600 {
+		t.Fatalf("Dense row = %+v", r)
+	}
+	if r := rows["BenchmarkObjectiveDelta"]; r.on != 10 || r.off != 0 {
+		t.Fatalf("Delta row = %+v", r)
+	}
+}

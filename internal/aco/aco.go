@@ -51,6 +51,7 @@ import (
 	"sync"
 
 	"bioschedsim/internal/objective"
+	"bioschedsim/internal/objective/kernel"
 	"bioschedsim/internal/sched"
 	"bioschedsim/internal/xrand"
 )
@@ -244,9 +245,9 @@ type run struct {
 
 // antScratch is one worker's private construction state.
 type antScratch struct {
-	tabu    []bool
-	weights []float64
-	eval    *objective.Evaluator // incremental Eq. 8 scorer for ant tours
+	tabu []bool
+	cum  []float64            // roulette cumulative-weight buffer
+	eval *objective.Evaluator // incremental Eq. 8 scorer for ant tours
 }
 
 func (r *run) getScratch() *antScratch {
@@ -254,9 +255,9 @@ func (r *run) getScratch() *antScratch {
 		return sc
 	}
 	return &antScratch{
-		tabu:    make([]bool, r.m),
-		weights: make([]float64, r.m),
-		eval:    objective.NewEvaluator(r.mx, false),
+		tabu: make([]bool, r.m),
+		cum:  make([]float64, r.m),
+		eval: objective.NewEvaluator(r.mx, false),
 	}
 }
 
@@ -422,7 +423,7 @@ func (r *run) construct(lo, hi int, rnd *rand.Rand, sc *antScratch) float64 {
 	e := sc.eval
 	e.Reset()
 	for i := lo; i < hi; i++ {
-		j := r.pick(i, tabu, sc.weights, rnd)
+		j := r.pick(i, tabu, sc.cum, rnd)
 		r.tour[i] = j
 		e.Assign(i, j)
 		tabu[j] = true
@@ -442,43 +443,43 @@ func (r *run) construct(lo, hi int, rnd *rand.Rand, sc *antScratch) float64 {
 // restricted to VMs outside the tabu list. Weights are b^α·η^β — the g^α
 // factor of the true τ^α·η^β is shared by every candidate and cancels in
 // the normalization below.
-func (r *run) pick(i int, tabu []bool, weights []float64, rnd interface{ Float64() float64 }) int {
+//
+// The roulette is prefix-sum form: cum[j] holds the running weight total
+// through VM j (tabu VMs contribute exactly 0), and the draw resolves with
+// an upper-bound search for the first cum[j] > x. Because cum strictly
+// increases at j exactly when weight j is positive, the selected VM always
+// carries positive weight and is never tabu. Both halves run through
+// internal/objective/kernel, so the same differential suite that pins the
+// Eq. 8/12/13 folds pins tour sampling.
+func (r *run) pick(i int, tabu []bool, cum []float64, rnd interface{ Float64() float64 }) int {
+	cum = cum[:r.m]
 	var total float64
 	switch {
 	case r.dense && r.etaCls != nil:
-		// Hot path: two cached lookups and one multiply per candidate.
+		// Hot path: the fused kernel masks, multiplies, and accumulates the
+		// whole candidate row in one pass over the cached b^α and η^β views.
 		ba := r.bAlpha[i*r.m : (i+1)*r.m]
 		eta := r.etaCls[i*r.k : (i+1)*r.k]
-		for j := 0; j < r.m; j++ {
-			if tabu[j] {
-				weights[j] = 0
-				continue
-			}
-			w := ba[j] * eta[r.cls[j]]
-			weights[j] = w
-			total += w
-		}
+		total = kernel.WeightedCum(ba, eta, r.cls, tabu, cum)
 	case r.dense:
 		ba := r.bAlpha[i*r.m : (i+1)*r.m]
 		for j := 0; j < r.m; j++ {
 			if tabu[j] {
-				weights[j] = 0
+				cum[j] = 0
 				continue
 			}
-			w := ba[j] * r.eta(i, j)
-			weights[j] = w
-			total += w
+			cum[j] = ba[j] * r.eta(i, j)
 		}
+		total = kernel.CumSum(cum, cum)
 	default:
 		for j := 0; j < r.m; j++ {
 			if tabu[j] {
-				weights[j] = 0
+				cum[j] = 0
 				continue
 			}
-			w := r.bVMAlpha[j] * r.eta(i, j)
-			weights[j] = w
-			total += w
+			cum[j] = r.bVMAlpha[j] * r.eta(i, j)
 		}
+		total = kernel.CumSum(cum, cum)
 	}
 	if total <= 0 || math.IsInf(total, 1) || math.IsNaN(total) {
 		// Degenerate weights (all under/overflowed): fall back to the first
@@ -491,13 +492,10 @@ func (r *run) pick(i int, tabu []bool, weights []float64, rnd interface{ Float64
 		return 0
 	}
 	x := rnd.Float64() * total
-	for j := 0; j < r.m; j++ {
-		x -= weights[j]
-		if x < 0 && weights[j] > 0 {
-			return j
-		}
+	if j := kernel.SearchCum(cum, x); j < r.m {
+		return j
 	}
-	// Float round-off: return the last allowed VM.
+	// Float round-off (x rounded up to the total): return the last allowed VM.
 	for j := r.m - 1; j >= 0; j-- {
 		if !tabu[j] {
 			return j

@@ -26,6 +26,7 @@ const (
 	InvPermutation      = "permutation"
 	InvWorkerInvariance = "worker-invariance"
 	InvShardInvariance  = "shard-invariance"
+	InvKernelInvariance = "kernel-invariance"
 	InvOracle           = "oracle"
 	InvEq12             = "eq12"
 	InvEq13             = "eq13"
@@ -137,7 +138,10 @@ func CheckScenario(scheduler string, sc Scenario) *Violation {
 	if v := checkExecution(sc, b, as); v != nil {
 		return v
 	}
-	return checkShardInvariance(sc, pos)
+	if v := checkShardInvariance(sc, pos); v != nil {
+		return v
+	}
+	return checkKernelInvariance(scheduler, sc)
 }
 
 // checkDeterminism rebuilds the scenario from its seed and re-schedules

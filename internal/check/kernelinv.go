@@ -1,0 +1,105 @@
+package check
+
+import (
+	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/metrics"
+	"bioschedsim/internal/objective/kernel"
+	"bioschedsim/internal/sched"
+)
+
+// checkKernelInvariance holds the vectorized objective kernels to their
+// differential contract end to end: the same seeded scenario scheduled and
+// executed once with the scalar reference kernels forced and once with the
+// fastest registered implementation must produce a bit-identical placement
+// vector and bit-identical Eq. 12/13 metrics (relDiff > 0, no tolerance).
+// The property suite in internal/objective/kernel pins each kernel to its
+// scalar loop in isolation; this invariant pins the composition — matrix
+// fill, roulette sampling, makespan folds, metric reductions — through a
+// whole scheduler run, which is exactly what CLOUDSCHED_NOSIMD toggles.
+func checkKernelInvariance(scheduler string, sc Scenario) *Violation {
+	fast := kernel.Fastest()
+	if fast == kernel.ScalarName {
+		return nil // no optimized implementation registered: nothing to diff
+	}
+
+	type result struct {
+		pos []int
+		sim float64 // Eq. 12 over the finished set
+		imb float64 // Eq. 13 over the finished set
+	}
+	runWith := func(name string) (result, *Violation) {
+		restore, err := kernel.Force(name)
+		if err != nil {
+			return result{}, violationf(InvBuild, "forcing kernel %q: %v", name, err)
+		}
+		defer restore()
+		b, err := sc.Build()
+		if err != nil {
+			return result{}, violationf(InvBuild, "rebuilding %v under kernel %q: %v", sc, name, err)
+		}
+		s, err := sched.New(scheduler)
+		if err != nil {
+			return result{}, violationf(InvBuild, "%v", err)
+		}
+		as, err := safeSchedule(s, b.Ctx)
+		if err != nil {
+			return result{}, violationf(InvKernelInvariance,
+				"%s failed under kernel %q: %v", scheduler, name, err)
+		}
+		if err := sched.ValidateAssignments(b.Ctx, as); err != nil {
+			return result{}, violationf(InvKernelInvariance,
+				"kernel %q produced invalid assignments: %v", name, err)
+		}
+		pos, err := posVector(b.Ctx, as)
+		if err != nil {
+			return result{}, violationf(InvKernelInvariance, "%v", err)
+		}
+		var finished []*cloud.Cloudlet
+		if b.Arrivals == nil {
+			cls, vms := sched.Split(as)
+			res, err := cloud.Execute(b.Env, cloud.TimeSharedFactory, cls, vms)
+			if err != nil {
+				return result{}, violationf(InvKernelInvariance,
+					"execution under kernel %q failed: %v", name, err)
+			}
+			finished = res.Finished
+		} else {
+			var v *Violation
+			finished, v = executeWithArrivals(sc, b, as)
+			if v != nil {
+				return result{}, v
+			}
+		}
+		return result{
+			pos: pos,
+			sim: float64(metrics.SimulationTime(finished)),
+			imb: metrics.TimeImbalance(finished),
+		}, nil
+	}
+
+	ref, v := runWith(kernel.ScalarName)
+	if v != nil {
+		return v
+	}
+	opt, v := runWith(fast)
+	if v != nil {
+		return v
+	}
+
+	for i := range ref.pos {
+		if ref.pos[i] != opt.pos[i] {
+			return violationf(InvKernelInvariance,
+				"kernel %q diverged from the scalar reference: cloudlet %d went to VM %d, scalar chose VM %d",
+				fast, i, opt.pos[i], ref.pos[i])
+		}
+	}
+	if d := relDiff(ref.sim, opt.sim); d > 0 {
+		return violationf(InvKernelInvariance,
+			"Eq.12 moved across kernels: %v under %q vs %v under scalar (rel %.3g)", opt.sim, fast, ref.sim, d)
+	}
+	if d := relDiff(ref.imb, opt.imb); d > 0 {
+		return violationf(InvKernelInvariance,
+			"Eq.13 moved across kernels: %v under %q vs %v under scalar (rel %.3g)", opt.imb, fast, ref.imb, d)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"bioschedsim/internal/objective/kernel"
+)
+
+// TestKernelInvarianceViolationIsCaught proves the kernel-invariance check
+// detects a broken optimized kernel: a planted implementation whose roulette
+// upper-bound search lands one slot off must diverge from the scalar
+// reference's placement vector and fail the invariant — and nothing else in
+// the suite may mask it, since the plant is self-consistent (deterministic,
+// worker-invariant, oracle-clean) and only wrong relative to the scalar
+// oracle. The planted failure must then survive shrinking and carry a
+// schedcheck replay line, the same triage path every other invariant gets.
+func TestKernelInvarianceViolationIsCaught(t *testing.T) {
+	plant, ok := kernel.Get(kernel.ScalarName)
+	if !ok {
+		t.Fatal("scalar reference implementation not registered")
+	}
+	goodSearch := plant.SearchCum
+	plant.Name = "testbroken-searchcum"
+	plant.SearchCum = func(cum []float64, x float64) int {
+		// The plant: an off-by-one roulette slot — the classic vectorized
+		// upper-bound-search bug (<= flipped to <).
+		j := goodSearch(cum, x)
+		if j+1 < len(cum) {
+			return j + 1
+		}
+		if j > 0 {
+			return j - 1
+		}
+		return j
+	}
+	restore := kernel.Override(plant)
+	defer restore()
+
+	sc := Scenario{Class: ClassHeterogeneous, VMs: 6, Cloudlets: 24, DCs: 1, Seed: 5}
+	v := CheckScenario("aco", sc)
+	if v == nil {
+		t.Fatal("planted broken kernel passed the invariance check")
+	}
+	if v.Invariant != InvKernelInvariance {
+		t.Fatalf("caught invariant %q, want %q (%v)", v.Invariant, InvKernelInvariance, v.Err)
+	}
+
+	shrunk, sv := Shrink("aco", sc)
+	if sv == nil {
+		t.Fatal("shrink lost the planted violation")
+	}
+	if sv.Invariant != InvKernelInvariance {
+		t.Fatalf("shrunk violation is %q, want %q (%v)", sv.Invariant, InvKernelInvariance, sv.Err)
+	}
+	if shrunk.Cloudlets > sc.Cloudlets || shrunk.VMs > sc.VMs {
+		t.Fatalf("shrink grew the scenario: %v from %v", shrunk, sc)
+	}
+	replay := shrunk.ReplayCommand("aco")
+	if !strings.Contains(replay, "schedcheck replay") || !strings.Contains(replay, "-scheduler aco") {
+		t.Fatalf("replay line %q missing the schedcheck invocation", replay)
+	}
+}
+
+// TestKernelInvarianceGreenOnRealKernels pins the other side of the plant:
+// with the genuine registered implementations active, the invariant holds on
+// the same scenario the plant fails, for a roulette-driven scheduler and a
+// deterministic one.
+func TestKernelInvarianceGreenOnRealKernels(t *testing.T) {
+	sc := Scenario{Class: ClassHeterogeneous, VMs: 6, Cloudlets: 24, DCs: 1, Seed: 5}
+	for _, scheduler := range []string{"aco", "base"} {
+		if v := CheckScenario(scheduler, sc); v != nil {
+			t.Fatalf("%s failed with real kernels: %v", scheduler, v)
+		}
+	}
+}

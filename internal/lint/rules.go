@@ -21,7 +21,8 @@ var deterministicPkgs = []string{
 	"internal/elastic",
 	"internal/sched",
 	"internal/sim",
-	"internal/objective",
+	"internal/objective", // prefix match: covers internal/objective/kernel too
+
 	"internal/online",
 	"internal/workload",
 	"internal/tracecol",

@@ -1,5 +1,7 @@
 package objective
 
+import "bioschedsim/internal/objective/kernel"
+
 // Evaluator maintains the fitness of one assignment under single-cloudlet
 // updates. A full evaluation of Eq. 8 is O(n); the Evaluator books per-VM
 // load once and then keeps makespan and total cost current through O(1)
@@ -169,12 +171,7 @@ func (e *Evaluator) Load(j int) float64 {
 // touched VMs are rescanned.
 func (e *Evaluator) Makespan() float64 {
 	if e.maxStale {
-		e.max = 0
-		for _, j := range e.touched {
-			if t := e.busy[j]; t > e.max {
-				e.max = t
-			}
-		}
+		e.max = kernel.MaxIndexed(e.busy, e.touched)
 		e.maxStale = false
 	}
 	return e.max

@@ -1,0 +1,34 @@
+package objective
+
+import (
+	"testing"
+
+	"bioschedsim/internal/cloud"
+)
+
+// TestEvaluatorEpochWrap drives Reset through the uint32 epoch wrap: stamps
+// from the previous 2³²−1 epochs must all read as invalid afterwards, so a
+// wrapped evaluator starts exactly as empty as a fresh one.
+func TestEvaluatorEpochWrap(t *testing.T) {
+	vms := []*cloud.VM{{ID: 0, MIPS: 1000, PEs: 1, Bw: 100}, {ID: 1, MIPS: 500, PEs: 2, Bw: 50}}
+	cls := []*cloud.Cloudlet{{ID: 0, Length: 4000, FileSize: 300}, {ID: 1, Length: 9000, FileSize: 600}}
+	mx := NewMatrix(cls, vms, Options{})
+	e := NewEvaluator(mx, false)
+	e.Assign(0, 1)
+	e.Assign(1, 0)
+	want := e.Makespan()
+
+	e.epoch = ^uint32(0) // force the wrap on the next Reset
+	e.Reset()
+	if e.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", e.epoch)
+	}
+	if e.Makespan() != 0 || e.Assignment(0) != -1 || e.Load(1) != 0 {
+		t.Fatal("wrapped Reset left stale state visible")
+	}
+	e.Assign(0, 1)
+	e.Assign(1, 0)
+	if got := e.Makespan(); got != want {
+		t.Fatalf("makespan after wrap = %v, want %v", got, want)
+	}
+}

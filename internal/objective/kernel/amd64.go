@@ -1,0 +1,56 @@
+//go:build amd64
+
+package kernel
+
+// amd64 variant: registered only where it pays. It shares the portable
+// unrolled kernels for everything element-wise and order-pinned (on amd64
+// the 8x/4x unrolls already keep the divider and FMA ports busy; assembly
+// would buy nothing bit-identical for the ordered sums) and replaces the
+// roulette search with a branchless binary upper-bound search: the Go
+// compiler lowers the half-step select to CMOVQcc on amd64, so the probe
+// loop runs without a mispredictable branch, and O(log m) probes beat the
+// linear count as soon as the fleet outgrows a couple of cache lines.
+//
+// Contract note: the binary search assumes the documented non-decreasing,
+// NaN-free cum array (prefix sums of non-negative weights). On that domain
+// it is exactly the scalar reference's first-entry-greater-than-x index —
+// the differential suite and FuzzKernelVsReference hold it to that.
+
+var archImpl = &Impl{
+	Name:        "amd64",
+	ExecRow:     execRowUnrolled,
+	CumSum:      cumSumUnrolled,
+	SearchCum:   searchCumBranchless,
+	WeightedCum: weightedCumUnrolled,
+	Max:         maxUnrolled,
+	MaxIndexed:  maxIndexedUnrolled,
+	SumIndexed:  sumIndexedUnrolled,
+	MinMaxSum:   minMaxSumUnrolled,
+}
+
+// searchCumLinearCutoff is the array length below which the branchless
+// linear count wins: a handful of cache lines scans faster than a
+// pointer-chasing binary descent.
+const searchCumLinearCutoff = 32
+
+func searchCumBranchless(cum []float64, x float64) int {
+	n := len(cum)
+	if n < searchCumLinearCutoff {
+		return searchCumUnrolled(cum, x)
+	}
+	// Invariant: every entry before base is ≤ x, every entry from base+n on
+	// is > x. The half-step either skips the lower half or shrinks the
+	// window — a data-dependent select, not a branch.
+	base := 0
+	for n > 1 {
+		half := n / 2
+		if cum[base+half-1] <= x {
+			base += half
+		}
+		n -= half
+	}
+	if n == 1 && cum[base] <= x {
+		base++
+	}
+	return base
+}

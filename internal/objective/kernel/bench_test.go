@@ -1,0 +1,164 @@
+package kernel_test
+
+import (
+	"testing"
+
+	"bioschedsim/internal/objective/kernel"
+	"bioschedsim/internal/xrand"
+)
+
+// The micro-benchmarks below run every kernel twice — /kernel=on uses the
+// fastest registered implementation, /kernel=off forces the scalar
+// reference — so one `go test -bench .` log carries both columns for
+// scripts/bench_objective.sh. benchsmoke understands the /kernel=on|off
+// leaf, so these names also survive its name normalization.
+
+// benchN is a paper-scale row length: the Fig. 5 homogeneous workload has
+// 2000 cloudlets, and class rows top out at the fleet size.
+const benchN = 2048
+
+// withKernel runs fn under both dispatch modes as named sub-benchmarks.
+func withKernel(b *testing.B, fn func(b *testing.B)) {
+	for _, mode := range []struct{ label, impl string }{
+		{"kernel=on", kernel.Fastest()},
+		{"kernel=off", kernel.ScalarName},
+	} {
+		b.Run(mode.label, func(b *testing.B) {
+			restore, err := kernel.Force(mode.impl)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer restore()
+			fn(b)
+		})
+	}
+}
+
+func benchFloats(n int, seed uint64) []float64 {
+	rnd := xrand.New(seed, 0)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rnd.Float64()*1e4 + 1e-3
+	}
+	return xs
+}
+
+func BenchmarkExecRow(b *testing.B) {
+	caps := benchFloats(benchN, 1)
+	bws := benchFloats(benchN, 2)
+	dst := make([]float64, benchN)
+	withKernel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			kernel.ExecRow(64000, 1200, caps, bws, dst)
+		}
+	})
+}
+
+func BenchmarkCumSum(b *testing.B) {
+	w := benchFloats(benchN, 3)
+	cum := make([]float64, benchN)
+	withKernel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if kernel.CumSum(cum, w) <= 0 {
+				b.Fatal("bad total")
+			}
+		}
+	})
+}
+
+func BenchmarkSearchCum(b *testing.B) {
+	w := benchFloats(benchN, 4)
+	cum := make([]float64, benchN)
+	total := kernel.CumSum(cum, w)
+	probes := benchFloats(256, 5)
+	for i := range probes {
+		probes[i] = probes[i] / 1e4 * total
+	}
+	withKernel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if kernel.SearchCum(cum, probes[i&255]) < 0 {
+				b.Fatal("bad index")
+			}
+		}
+	})
+}
+
+func BenchmarkWeightedCum(b *testing.B) {
+	const k = 7                  // VM classes behind the benchN virtual machines
+	ba := benchFloats(benchN, 6) // per-VM pheromone^alpha
+	eta := benchFloats(k, 7)     // per-class heuristic^beta
+	rnd := xrand.New(8, 0)
+	cls := make([]int32, benchN)
+	tabu := make([]bool, benchN)
+	for i := range cls {
+		cls[i] = int32(rnd.Intn(k))
+		tabu[i] = rnd.Intn(8) == 0
+	}
+	cum := make([]float64, benchN)
+	withKernel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if kernel.WeightedCum(ba, eta, cls, tabu, cum) <= 0 {
+				b.Fatal("bad total")
+			}
+		}
+	})
+}
+
+func BenchmarkMax(b *testing.B) {
+	xs := benchFloats(benchN, 9)
+	withKernel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if kernel.Max(xs) <= 0 {
+				b.Fatal("bad max")
+			}
+		}
+	})
+}
+
+func BenchmarkMinMaxSum(b *testing.B) {
+	xs := benchFloats(benchN, 10)
+	withKernel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mn, mx, sum := kernel.MinMaxSum(xs)
+			if mn > mx || sum <= 0 {
+				b.Fatal("bad fold")
+			}
+		}
+	})
+}
+
+func BenchmarkSumIndexed(b *testing.B) {
+	const k = 7
+	vals := benchFloats(k, 11)
+	rnd := xrand.New(12, 0)
+	idx := make([]int32, benchN)
+	for i := range idx {
+		idx[i] = int32(rnd.Intn(k))
+	}
+	withKernel(b, func(b *testing.B) {
+		acc := 0.0
+		for i := 0; i < b.N; i++ {
+			acc = kernel.SumIndexed(acc, vals, idx)
+		}
+		if acc <= 0 {
+			b.Fatal("bad sum")
+		}
+	})
+}
+
+func BenchmarkMaxIndexed(b *testing.B) {
+	const m = 64 // busy slots (one per VM)
+	vals := benchFloats(m, 13)
+	rnd := xrand.New(14, 0)
+	idx := make([]int32, 16) // touched set, as in Evaluator rescans
+	for i := range idx {
+		idx[i] = int32(rnd.Intn(m))
+	}
+	withKernel(b, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if kernel.MaxIndexed(vals, idx) <= 0 {
+				b.Fatal("bad max")
+			}
+		}
+	})
+}

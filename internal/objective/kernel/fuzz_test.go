@@ -1,0 +1,136 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// decodeFloats reinterprets data as little-endian float64s — raw bit
+// patterns, so the fuzzer reaches denormals, ±Inf, NaN payloads, and ±0
+// without any generator bias.
+func decodeFloats(data []byte) []float64 {
+	n := len(data) / 8
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out
+}
+
+// FuzzKernelVsReference drives every registered optimized implementation
+// against the scalar reference on fuzzer-shaped inputs: arbitrary lengths
+// (lane tails included), arbitrary bit patterns for the element-wise and
+// reduction kernels, and contract-sanitized inputs (non-decreasing, NaN-free
+// cum; non-NaN probe) for the roulette search, whose upper-bound form is
+// only specified on that domain. Every comparison is bit-identity.
+func FuzzKernelVsReference(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("AAAAAAAA"))
+	f.Add([]byte("AAAAAAAABBBBBBBBCCCCCCCCDDDDDDDDEEEEEEEEFFFFFFFFGGGGGGGGHHHHHHHHI"))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0xf0, 0x7f, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xf8, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs := decodeFloats(data)
+		n := len(xs)
+		for _, im := range optimized(t) {
+			// ExecRow: element-wise, any bit pattern admissible.
+			half := n / 2
+			caps, bws := xs[:half], xs[half:half*2]
+			length, fileSize := 3000.0, 300.0
+			if n > 0 {
+				length = xs[n-1]
+			}
+			want := make([]float64, half)
+			got := make([]float64, half)
+			execRowScalar(length, fileSize, caps, bws, want)
+			im.ExecRow(length, fileSize, caps, bws, got)
+			diffSlices(t, im.Name, "ExecRow", want, got)
+
+			// CumSum: ordered sum, any bit pattern admissible.
+			want = make([]float64, n)
+			got = make([]float64, n)
+			wantTotal := cumSumScalar(want, xs)
+			gotTotal := im.CumSum(got, xs)
+			diffVal(t, im.Name, "CumSum total", wantTotal, gotTotal)
+			diffSlices(t, im.Name, "CumSum", want, got)
+
+			// SearchCum: sanitize to the documented contract — cum is the
+			// prefix sum of finite non-negative weights, the probe is non-NaN.
+			w := make([]float64, n)
+			for i, x := range xs {
+				x = math.Abs(x)
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					x = float64(i)
+				}
+				w[i] = x
+			}
+			cum := make([]float64, n)
+			total := cumSumScalar(cum, w)
+			probes := []float64{-1, 0, total / 2, total, total * 2}
+			for _, x := range xs {
+				if !math.IsNaN(x) {
+					probes = append(probes, x)
+				}
+			}
+			for _, x := range probes {
+				if sj, oj := searchCumScalar(cum, x), im.SearchCum(cum, x); sj != oj {
+					t.Fatalf("%s/SearchCum(n=%d, x=%v) = %d, scalar %d", im.Name, n, x, oj, sj)
+				}
+			}
+
+			// WeightedCum: classes and tabu masks derived from the raw bytes.
+			k := 1 + n%5
+			eta := make([]float64, k)
+			for i := range eta {
+				if i < n {
+					eta[i] = xs[i]
+				}
+			}
+			cls := make([]int32, n)
+			tabu := make([]bool, n)
+			for i := 0; i < n; i++ {
+				cls[i] = int32(int(data[i]) % k)
+				tabu[i] = data[i]&0x80 != 0
+			}
+			wantTotal = weightedCumScalar(xs, eta, cls, tabu, want)
+			gotTotal = im.WeightedCum(xs, eta, cls, tabu, got)
+			diffVal(t, im.Name, "WeightedCum total", wantTotal, gotTotal)
+			diffSlices(t, im.Name, "WeightedCum", want, got)
+
+			// Reductions: any bit pattern admissible.
+			diffVal(t, im.Name, "Max", maxScalar(xs), im.Max(xs))
+			wmin, wmax, wsum := minMaxSumScalar(xs)
+			gmin, gmax, gsum := im.MinMaxSum(xs)
+			diffVal(t, im.Name, "MinMaxSum min", wmin, gmin)
+			diffVal(t, im.Name, "MinMaxSum max", wmax, gmax)
+			diffVal(t, im.Name, "MinMaxSum sum", wsum, gsum)
+
+			// Indexed gathers: indices folded into range from the raw bytes.
+			if n > 0 {
+				idx := make([]int32, len(data)%97)
+				for i := range idx {
+					idx[i] = int32(int(data[i%len(data)]) % n)
+				}
+				diffVal(t, im.Name, "MaxIndexed", maxIndexedScalar(xs, idx), im.MaxIndexed(xs, idx))
+				diffVal(t, im.Name, "SumIndexed", sumIndexedScalar(wsum, xs, idx), im.SumIndexed(wsum, xs, idx))
+			}
+		}
+	})
+}
+
+func diffVal(t *testing.T, impl, kernel string, want, got float64) {
+	t.Helper()
+	if !eqBits(want, got) {
+		t.Fatalf("%s/%s = %v (bits %016x), scalar %v (bits %016x)",
+			impl, kernel, got, math.Float64bits(got), want, math.Float64bits(want))
+	}
+}
+
+func diffSlices(t *testing.T, impl, kernel string, want, got []float64) {
+	t.Helper()
+	for i := range want {
+		if !eqBits(want[i], got[i]) {
+			t.Fatalf("%s/%s[%d] = %v, scalar %v", impl, kernel, i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,288 @@
+// Package kernel is the vectorized inner-loop layer under the objective
+// evaluation stack: hand-unrolled float64 kernels for the dense row
+// operations every scheduler in this repository funnels through — Eq. 6
+// execution-row construction, the prefix-sum roulette behind ACO's
+// transition rule, the weighted b^α·η^β row product feeding it, and the
+// min/max/sum reductions backing Eq. 8, Matrix.Norms, and the Eq. 12/13
+// metric folds.
+//
+// The layer is built around a differential contract, following the biosimd
+// pattern: every kernel ships with a boring scalar reference implementation
+// in this package, and the optimized variants must return results
+// BIT-IDENTICAL to that reference on every input the contract admits. (One
+// carve-out, held by the fuzz harness: when a result is NaN, its payload
+// bits are unspecified — Go itself does not pin which operand's payload an
+// addition propagates — so any NaN matches any NaN.) The
+// unrolled implementations therefore preserve the reference's accumulation
+// association exactly — unrolling removes loop overhead, bounds checks, and
+// branches, and buys instruction-level parallelism on the element-wise and
+// max-reduction kernels, but never reassociates an ordered float sum. (A
+// reassociating kernel — multi-accumulator sums, pairwise reduction — would
+// only be 1e-9-oracle-compatible; nothing placement- or metric-visible may
+// use one, because the check suite's kernel-invariance invariant demands
+// bit-identical placements and Eq. 12/13 with kernels forced on and off.
+// See DESIGN.md §14 for the per-kernel policy table.)
+//
+// Dispatch: Select() installs the implementation the platform policy picks
+// — the build-tag-gated amd64 variant where one is registered, the portable
+// unrolled variant otherwise — unless the CLOUDSCHED_NOSIMD environment
+// knob is set, which forces the scalar reference so CI can hold the
+// fallback path green. Tests flip paths with Force and plant broken
+// kernels with Override; both restore. All call sites go through the
+// package-level wrappers, which read the active implementation from an
+// atomic pointer, so flipping is safe under -race.
+package kernel
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvNoSIMD is the environment knob Select honors: any value other than
+// empty or "0" forces the scalar reference implementation, so CI matrix
+// legs can exercise the fallback path without code changes.
+const EnvNoSIMD = "CLOUDSCHED_NOSIMD"
+
+// Impl is one complete kernel implementation set. Every function must obey
+// the contract documented on its package-level wrapper; the scalar
+// implementation is the executable specification.
+type Impl struct {
+	// Name identifies the implementation in Select/Force/Active.
+	Name string
+
+	// ExecRow fills dst[k] with Eq. 6's d for a cloudlet of the given
+	// Length and FileSize on VM class k: length/caps[k], plus
+	// fileSize/bws[k] when bws[k] > 0. caps and bws must have at least
+	// len(dst) entries.
+	ExecRow func(length, fileSize float64, caps, bws, dst []float64)
+
+	// CumSum writes the inclusive in-order prefix sum of w into cum
+	// (cum[j] = w[0]+…+w[j], accumulated in ascending index order) and
+	// returns the total. cum may alias w. len(cum) must equal len(w).
+	CumSum func(cum, w []float64) float64
+
+	// SearchCum returns the roulette slot for x on the non-decreasing
+	// cumulative-weight array cum: the smallest j with cum[j] > x, i.e.
+	// the number of leading entries ≤ x; len(cum) when every entry is ≤ x.
+	// The array must be non-decreasing and NaN-free — CumSum/WeightedCum
+	// output over finite non-negative weights qualifies; callers guard the
+	// degenerate totals (ACO's pick checks total for 0/Inf/NaN first).
+	SearchCum func(cum []float64, x float64) int
+
+	// WeightedCum fuses the Eq. 5 weight row with its prefix sum: for each
+	// VM j, the weight is ba[j]·eta[cls[j]] — or exactly 0 when tabu[j] —
+	// and cum[j] receives the running in-order total, which is returned.
+	// ba, cls, and tabu must have at least len(cum) entries; eta is
+	// indexed by class id.
+	WeightedCum func(ba, eta []float64, cls []int32, tabu []bool, cum []float64) float64
+
+	// Max returns the maximum of (0, xs...): the Eq. 8 max scan over
+	// per-VM loads, which are non-negative, with the same zero floor the
+	// canonical scan uses. NaN entries are skipped (x > acc is false).
+	Max func(xs []float64) float64
+
+	// MaxIndexed returns the maximum of (0, vals[idx[0]], vals[idx[1]], …)
+	// — the Evaluator's stale-makespan rescan over its touched VM set.
+	MaxIndexed func(vals []float64, idx []int32) float64
+
+	// SumIndexed continues the in-order accumulation acc + vals[idx[0]] +
+	// vals[idx[1]] + … and returns it — the Matrix.Norms gather, where the
+	// accumulator is threaded across rows so the grouping stays identical
+	// to the historical flat (i, j) loop.
+	SumIndexed func(acc float64, vals []float64, idx []int32) float64
+
+	// MinMaxSum returns the minimum, maximum, and in-order sum of xs, with
+	// min and max seeded from xs[0] (so an all-NaN or NaN-first slice
+	// propagates exactly like the canonical seeded scan) and (0, 0, 0) for
+	// an empty slice. Backs the Eq. 12/13 folds in internal/metrics.
+	MinMaxSum func(xs []float64) (min, max, sum float64)
+}
+
+// complete reports whether every kernel slot is populated.
+func (im *Impl) complete() error {
+	switch {
+	case im.Name == "":
+		return fmt.Errorf("kernel: Impl has no name")
+	case im.ExecRow == nil, im.CumSum == nil, im.SearchCum == nil,
+		im.WeightedCum == nil, im.Max == nil, im.MaxIndexed == nil,
+		im.SumIndexed == nil, im.MinMaxSum == nil:
+		return fmt.Errorf("kernel: Impl %q is missing kernel functions", im.Name)
+	}
+	return nil
+}
+
+var (
+	mu       sync.Mutex       // guards registry and override
+	registry map[string]*Impl // every selectable implementation by name
+	override *Impl            // when non-nil, what fastestLocked returns (test plant seam)
+
+	active atomic.Pointer[Impl]
+)
+
+func init() {
+	registry = map[string]*Impl{
+		scalarImpl.Name:   scalarImpl,
+		unrolledImpl.Name: unrolledImpl,
+	}
+	if archImpl != nil {
+		registry[archImpl.Name] = archImpl
+	}
+	Select()
+}
+
+// fastestLocked resolves the non-scalar default: the planted override if one
+// is installed, else the build-tag-gated arch variant, else the portable
+// unrolled implementation. mu must be held.
+func fastestLocked() *Impl {
+	if override != nil {
+		return override
+	}
+	if archImpl != nil {
+		return archImpl
+	}
+	return unrolledImpl
+}
+
+// Fastest returns the name of the implementation Select would install when
+// the CLOUDSCHED_NOSIMD knob is unset — the "kernels on" side of the
+// check suite's kernel-invariance invariant.
+func Fastest() string {
+	mu.Lock()
+	defer mu.Unlock()
+	return fastestLocked().Name
+}
+
+// Select installs the implementation the platform policy picks — Fastest(),
+// unless the CLOUDSCHED_NOSIMD environment knob forces the scalar
+// reference — and returns its name. It runs once at package init; call it
+// again after changing the environment to re-resolve.
+func Select() string {
+	mu.Lock()
+	defer mu.Unlock()
+	im := fastestLocked()
+	if v := os.Getenv(EnvNoSIMD); v != "" && v != "0" {
+		im = scalarImpl
+	}
+	active.Store(im)
+	return im.Name
+}
+
+// Active returns the name of the installed implementation.
+func Active() string { return active.Load().Name }
+
+// ScalarName is the registry name of the scalar reference implementation —
+// the "kernels off" side of every differential comparison.
+const ScalarName = "scalar"
+
+// Names lists every selectable implementation, sorted; differential tests
+// iterate this to cover each dispatch path against the scalar reference.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns a copy of the named implementation, ok=false when it is not
+// registered. Plant authors copy the scalar reference and perturb one slot;
+// the copy never aliases registry state, so mutating it is safe.
+func Get(name string) (Impl, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	im, ok := registry[name]
+	if !ok {
+		return Impl{}, false
+	}
+	return *im, true
+}
+
+// Force installs the named implementation regardless of platform policy or
+// the environment knob and returns a restore func reinstating the previous
+// one. The check suite uses it to run scenarios with kernels forced on and
+// forced off.
+func Force(name string) (restore func(), err error) {
+	mu.Lock()
+	im, ok := registry[name]
+	mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("kernel: no implementation %q (have %v)", name, Names())
+	}
+	prev := active.Swap(im)
+	return func() { active.Store(prev) }, nil
+}
+
+// Override registers im and makes it the Fastest() resolution until the
+// returned restore func runs — the seam broken-kernel plants use to prove
+// the check suite's kernel-invariance invariant detects a divergent kernel.
+// It panics on an incomplete Impl and installs im immediately.
+func Override(im Impl) (restore func()) {
+	if err := im.complete(); err != nil {
+		panic(err)
+	}
+	mu.Lock()
+	prevOverride, prevReg, hadReg := override, registry[im.Name], false
+	if prevReg != nil {
+		hadReg = true
+	}
+	override = &im
+	registry[im.Name] = &im
+	mu.Unlock()
+	prevActive := active.Swap(&im)
+	return func() {
+		mu.Lock()
+		override = prevOverride
+		if hadReg {
+			registry[im.Name] = prevReg
+		} else {
+			delete(registry, im.Name)
+		}
+		mu.Unlock()
+		active.Store(prevActive)
+	}
+}
+
+// --- package-level wrappers: the only call surface the hot paths use -----
+
+// ExecRow fills dst with Eq. 6 execution estimates; see Impl.ExecRow.
+func ExecRow(length, fileSize float64, caps, bws, dst []float64) {
+	active.Load().ExecRow(length, fileSize, caps, bws, dst)
+}
+
+// CumSum writes the inclusive prefix sum of w into cum and returns the
+// total; see Impl.CumSum.
+func CumSum(cum, w []float64) float64 { return active.Load().CumSum(cum, w) }
+
+// SearchCum returns the roulette slot for x on the non-decreasing
+// cumulative array cum; see Impl.SearchCum.
+func SearchCum(cum []float64, x float64) int { return active.Load().SearchCum(cum, x) }
+
+// WeightedCum fuses the tabu-masked ba·eta row product with its prefix sum;
+// see Impl.WeightedCum.
+func WeightedCum(ba, eta []float64, cls []int32, tabu []bool, cum []float64) float64 {
+	return active.Load().WeightedCum(ba, eta, cls, tabu, cum)
+}
+
+// Max returns max(0, xs...); see Impl.Max.
+func Max(xs []float64) float64 { return active.Load().Max(xs) }
+
+// MaxIndexed returns max(0, vals[idx]...); see Impl.MaxIndexed.
+func MaxIndexed(vals []float64, idx []int32) float64 {
+	return active.Load().MaxIndexed(vals, idx)
+}
+
+// SumIndexed continues acc with the in-order gather sum of vals[idx]; see
+// Impl.SumIndexed.
+func SumIndexed(acc float64, vals []float64, idx []int32) float64 {
+	return active.Load().SumIndexed(acc, vals, idx)
+}
+
+// MinMaxSum returns the seeded min, max, and in-order sum of xs; see
+// Impl.MinMaxSum.
+func MinMaxSum(xs []float64) (min, max, sum float64) { return active.Load().MinMaxSum(xs) }

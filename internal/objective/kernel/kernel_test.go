@@ -1,0 +1,428 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"bioschedsim/internal/xrand"
+)
+
+// lengths is the differential sweep: empty, single, both unroll factors ±1,
+// primes that never align with a lane boundary, and a paper-scale tail.
+// (4 and 8 are the two unroll widths in use; 3/5/7/9 bracket them.)
+var lengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 13, 31, 32, 33, 97, 1009, 4093, 100003}
+
+// valueClass generates one deterministic test vector of n floats in a given
+// numeric regime. Regimes cover the magnitudes the objective layer can
+// produce: ordinary positives, denormals, huge near-overflow values, exact
+// zeros, and sign-mixed data for the reductions.
+type valueClass struct {
+	name string
+	gen  func(n int, stream uint64) []float64
+}
+
+var valueClasses = []valueClass{
+	{"uniform", func(n int, stream uint64) []float64 {
+		rnd := xrand.New(11, stream)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = rnd.Float64() * 1e3
+		}
+		return out
+	}},
+	{"denormal", func(n int, stream uint64) []float64 {
+		rnd := xrand.New(12, stream)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.SmallestNonzeroFloat64 * float64(rnd.Intn(1<<20))
+		}
+		return out
+	}},
+	{"huge", func(n int, stream uint64) []float64 {
+		rnd := xrand.New(13, stream)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = (0.5 + rnd.Float64()) * 1e300
+		}
+		return out
+	}},
+	{"zeros-mixed", func(n int, stream uint64) []float64 {
+		rnd := xrand.New(14, stream)
+		out := make([]float64, n)
+		for i := range out {
+			if rnd.Intn(3) == 0 {
+				out[i] = 0
+			} else {
+				out[i] = rnd.Float64()
+			}
+		}
+		return out
+	}},
+	{"signed", func(n int, stream uint64) []float64 {
+		rnd := xrand.New(15, stream)
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = (rnd.Float64() - 0.5) * 2e6
+		}
+		return out
+	}},
+}
+
+// optimized returns every registered non-scalar implementation; the
+// differential suite runs each against the scalar reference.
+func optimized(t testing.TB) []*Impl {
+	t.Helper()
+	var out []*Impl
+	mu.Lock()
+	defer mu.Unlock()
+	for name, im := range registry {
+		if name != ScalarName {
+			out = append(out, im)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no optimized implementations registered")
+	}
+	return out
+}
+
+// eqBits compares float64s for bit-identity — stronger than == in that it
+// distinguishes ±0 — except NaN payloads: any NaN equals any NaN, because Go
+// itself does not specify which operand's payload an addition propagates
+// (the compiler may commute float ops), so payload identity is explicitly
+// outside the kernel contract.
+func eqBits(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func TestExecRowMatchesScalar(t *testing.T) {
+	for _, im := range optimized(t) {
+		for _, n := range lengths {
+			for _, vc := range valueClasses {
+				caps := vc.gen(n, 1)
+				bws := vc.gen(n, 2)
+				for i := range caps {
+					if caps[i] < 0 {
+						caps[i] = -caps[i] // capacities are positive in the model
+					}
+				}
+				length, fileSize := 3000.0+float64(n), 300.0
+				want := make([]float64, n)
+				got := make([]float64, n)
+				execRowScalar(length, fileSize, caps, bws, want)
+				im.ExecRow(length, fileSize, caps, bws, got)
+				for k := range want {
+					if !eqBits(want[k], got[k]) {
+						t.Fatalf("%s/ExecRow n=%d class=%s: dst[%d] = %v, scalar %v",
+							im.Name, n, vc.name, k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCumSumMatchesScalar(t *testing.T) {
+	for _, im := range optimized(t) {
+		for _, n := range lengths {
+			for _, vc := range valueClasses {
+				w := vc.gen(n, 3)
+				want := make([]float64, n)
+				got := make([]float64, n)
+				wantTotal := cumSumScalar(want, w)
+				gotTotal := im.CumSum(got, w)
+				if !eqBits(wantTotal, gotTotal) {
+					t.Fatalf("%s/CumSum n=%d class=%s: total %v, scalar %v", im.Name, n, vc.name, gotTotal, wantTotal)
+				}
+				for j := range want {
+					if !eqBits(want[j], got[j]) {
+						t.Fatalf("%s/CumSum n=%d class=%s: cum[%d] = %v, scalar %v",
+							im.Name, n, vc.name, j, got[j], want[j])
+					}
+				}
+				// In-place aliasing (cum == w) must produce the same result.
+				inPlace := append([]float64(nil), w...)
+				im.CumSum(inPlace, inPlace)
+				for j := range want {
+					if !eqBits(want[j], inPlace[j]) {
+						t.Fatalf("%s/CumSum n=%d class=%s aliased: cum[%d] = %v, scalar %v",
+							im.Name, n, vc.name, j, inPlace[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// searchProbes returns the x values worth probing against a cumulative
+// array: below, inside (including exact boundary hits, where the ≤/> split
+// matters most), at the total, and beyond it.
+func searchProbes(cum []float64, total float64, stream uint64) []float64 {
+	probes := []float64{-1, 0, total, total * 2, math.Inf(1), -math.MaxFloat64}
+	rnd := xrand.New(16, stream)
+	for i := 0; i < 8 && len(cum) > 0; i++ {
+		probes = append(probes, cum[rnd.Intn(len(cum))])                     // exact boundary
+		probes = append(probes, rnd.Float64()*total)                         // interior draw, the roulette's real shape
+		probes = append(probes, math.Nextafter(cum[rnd.Intn(len(cum))], -1)) // just below a boundary
+	}
+	return probes
+}
+
+func TestSearchCumMatchesScalar(t *testing.T) {
+	for _, im := range optimized(t) {
+		for _, n := range lengths {
+			for _, vc := range valueClasses {
+				// Contract: cum must be non-decreasing and NaN-free — build it
+				// as the prefix sum of absolute weights, exactly how the
+				// roulette consumers do.
+				w := vc.gen(n, 4)
+				for i := range w {
+					w[i] = math.Abs(w[i])
+				}
+				cum := make([]float64, n)
+				total := cumSumScalar(cum, w)
+				for _, x := range searchProbes(cum, total, uint64(n)) {
+					want := searchCumScalar(cum, x)
+					got := im.SearchCum(cum, x)
+					if want != got {
+						t.Fatalf("%s/SearchCum n=%d class=%s x=%v: got %d, scalar %d",
+							im.Name, n, vc.name, x, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedCumMatchesScalar(t *testing.T) {
+	for _, im := range optimized(t) {
+		for _, n := range lengths {
+			for _, vc := range valueClasses {
+				ba := vc.gen(n, 5)
+				k := 1 + n%7
+				eta := vc.gen(k, 6)
+				rnd := xrand.New(17, uint64(n))
+				cls := make([]int32, n)
+				tabu := make([]bool, n)
+				for j := range cls {
+					cls[j] = int32(rnd.Intn(k))
+					tabu[j] = rnd.Intn(3) == 0
+				}
+				want := make([]float64, n)
+				got := make([]float64, n)
+				wantTotal := weightedCumScalar(ba, eta, cls, tabu, want)
+				gotTotal := im.WeightedCum(ba, eta, cls, tabu, got)
+				if !eqBits(wantTotal, gotTotal) {
+					t.Fatalf("%s/WeightedCum n=%d class=%s: total %v, scalar %v",
+						im.Name, n, vc.name, gotTotal, wantTotal)
+				}
+				for j := range want {
+					if !eqBits(want[j], got[j]) {
+						t.Fatalf("%s/WeightedCum n=%d class=%s: cum[%d] = %v, scalar %v",
+							im.Name, n, vc.name, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// withNaNs sprinkles NaNs into a copy of xs: the reductions must treat them
+// exactly like the scalar scan does (a NaN never wins a comparison; a
+// NaN-first slice poisons the seeded min/max; sums propagate in order).
+func withNaNs(xs []float64, stream uint64) []float64 {
+	out := append([]float64(nil), xs...)
+	rnd := xrand.New(18, stream)
+	for i := range out {
+		if rnd.Intn(5) == 0 {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+func TestMaxMatchesScalar(t *testing.T) {
+	for _, im := range optimized(t) {
+		for _, n := range lengths {
+			for _, vc := range valueClasses {
+				for _, xs := range [][]float64{vc.gen(n, 7), withNaNs(vc.gen(n, 7), uint64(n))} {
+					want, got := maxScalar(xs), im.Max(xs)
+					if !eqBits(want, got) {
+						t.Fatalf("%s/Max n=%d class=%s: got %v, scalar %v", im.Name, n, vc.name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxIndexedAndSumIndexedMatchScalar(t *testing.T) {
+	for _, im := range optimized(t) {
+		for _, n := range lengths {
+			for _, vc := range valueClasses {
+				vals := vc.gen(n+1, 8) // n+1 so the n=0 case still has a value pool
+				rnd := xrand.New(19, uint64(n))
+				idx := make([]int32, n)
+				for i := range idx {
+					idx[i] = int32(rnd.Intn(len(vals)))
+				}
+				if want, got := maxIndexedScalar(vals, idx), im.MaxIndexed(vals, idx); !eqBits(want, got) {
+					t.Fatalf("%s/MaxIndexed n=%d class=%s: got %v, scalar %v", im.Name, n, vc.name, got, want)
+				}
+				for _, acc := range []float64{0, -3.5, 1e18} {
+					if want, got := sumIndexedScalar(acc, vals, idx), im.SumIndexed(acc, vals, idx); !eqBits(want, got) {
+						t.Fatalf("%s/SumIndexed n=%d class=%s acc=%v: got %v, scalar %v",
+							im.Name, n, vc.name, acc, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMinMaxSumMatchesScalar(t *testing.T) {
+	for _, im := range optimized(t) {
+		for _, n := range lengths {
+			for _, vc := range valueClasses {
+				for _, xs := range [][]float64{vc.gen(n, 9), withNaNs(vc.gen(n, 9), uint64(n))} {
+					wmin, wmax, wsum := minMaxSumScalar(xs)
+					gmin, gmax, gsum := im.MinMaxSum(xs)
+					if !eqBits(wmin, gmin) || !eqBits(wmax, gmax) || !eqBits(wsum, gsum) {
+						t.Fatalf("%s/MinMaxSum n=%d class=%s: got (%v,%v,%v), scalar (%v,%v,%v)",
+							im.Name, n, vc.name, gmin, gmax, gsum, wmin, wmax, wsum)
+					}
+				}
+			}
+		}
+	}
+}
+
+// --- dispatch --------------------------------------------------------------
+
+func TestSelectHonorsNoSIMDKnob(t *testing.T) {
+	prev := Active()
+	defer func() {
+		if _, err := Force(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	t.Setenv(EnvNoSIMD, "1")
+	if got := Select(); got != ScalarName {
+		t.Fatalf("Select with %s=1 installed %q, want %q", EnvNoSIMD, got, ScalarName)
+	}
+	if Active() != ScalarName {
+		t.Fatalf("Active after forced-scalar Select: %q", Active())
+	}
+
+	t.Setenv(EnvNoSIMD, "0")
+	if got := Select(); got != Fastest() {
+		t.Fatalf("Select with %s=0 installed %q, want Fastest %q", EnvNoSIMD, got, Fastest())
+	}
+
+	t.Setenv(EnvNoSIMD, "")
+	if got := Select(); got != Fastest() {
+		t.Fatalf("Select with %s unset installed %q, want Fastest %q", EnvNoSIMD, got, Fastest())
+	}
+}
+
+func TestForceInstallsAndRestores(t *testing.T) {
+	before := Active()
+	restore, err := Force(ScalarName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Active() != ScalarName {
+		t.Fatalf("Force(scalar) left %q active", Active())
+	}
+	restore()
+	if Active() != before {
+		t.Fatalf("restore left %q active, want %q", Active(), before)
+	}
+	if _, err := Force("no-such-impl"); err == nil {
+		t.Fatal("Force accepted an unknown implementation name")
+	}
+}
+
+func TestNamesCoverBothSidesOfTheDiff(t *testing.T) {
+	names := Names()
+	seen := map[string]bool{}
+	for _, n := range names {
+		seen[n] = true
+	}
+	if !seen[ScalarName] || !seen["unrolled"] {
+		t.Fatalf("Names() = %v, want at least scalar and unrolled", names)
+	}
+	if f := Fastest(); f == ScalarName || !seen[f] {
+		t.Fatalf("Fastest() = %q, want a registered non-scalar implementation (have %v)", f, names)
+	}
+}
+
+func TestOverrideInstallsPlantAndRestores(t *testing.T) {
+	before, beforeFastest := Active(), Fastest()
+	plant := *scalarImpl
+	plant.Name = "testplant"
+	plant.Max = func(xs []float64) float64 { return maxScalar(xs) + 1 }
+	restore := Override(plant)
+	if Active() != "testplant" || Fastest() != "testplant" {
+		t.Fatalf("Override left Active=%q Fastest=%q", Active(), Fastest())
+	}
+	if got := Max([]float64{2}); got != 3 {
+		t.Fatalf("planted Max not dispatched: got %v, want 3", got)
+	}
+	restore()
+	if Active() != before || Fastest() != beforeFastest {
+		t.Fatalf("restore left Active=%q Fastest=%q, want %q/%q", Active(), Fastest(), before, beforeFastest)
+	}
+	for _, n := range Names() {
+		if n == "testplant" {
+			t.Fatal("restore left the plant registered")
+		}
+	}
+}
+
+func TestOverrideRejectsIncompleteImpl(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Override accepted an incomplete Impl")
+		}
+	}()
+	Override(Impl{Name: "hollow"})
+}
+
+// TestWrappersDispatchActive pins the package-level wrappers to the active
+// implementation: a one-value smoke through every wrapper.
+func TestWrappersDispatchActive(t *testing.T) {
+	caps, bws := []float64{2}, []float64{4}
+	dst := make([]float64, 1)
+	ExecRow(8, 12, caps, bws, dst)
+	if want := 8.0/2 + 12.0/4; dst[0] != want {
+		t.Fatalf("ExecRow wrapper: %v, want %v", dst[0], want)
+	}
+	cum := make([]float64, 3)
+	if total := CumSum(cum, []float64{1, 2, 3}); total != 6 || cum[1] != 3 {
+		t.Fatalf("CumSum wrapper: total %v cum %v", total, cum)
+	}
+	if j := SearchCum(cum, 2.5); j != 1 {
+		t.Fatalf("SearchCum wrapper: %d, want 1", j)
+	}
+	wc := make([]float64, 2)
+	if total := WeightedCum([]float64{2, 3}, []float64{5}, []int32{0, 0}, []bool{false, true}, wc); total != 10 {
+		t.Fatalf("WeightedCum wrapper: total %v, want 10", total)
+	}
+	if m := Max([]float64{1, 9, 4}); m != 9 {
+		t.Fatalf("Max wrapper: %v", m)
+	}
+	if m := MaxIndexed([]float64{1, 9, 4}, []int32{0, 2}); m != 4 {
+		t.Fatalf("MaxIndexed wrapper: %v", m)
+	}
+	if s := SumIndexed(1, []float64{1, 9, 4}, []int32{0, 2}); s != 6 {
+		t.Fatalf("SumIndexed wrapper: %v", s)
+	}
+	if mn, mx, sum := MinMaxSum([]float64{3, 1, 2}); mn != 1 || mx != 3 || sum != 6 {
+		t.Fatalf("MinMaxSum wrapper: %v %v %v", mn, mx, sum)
+	}
+}

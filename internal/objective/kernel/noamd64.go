@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package kernel
+
+// No arch-specific variant registered: dispatch falls through to the
+// portable unrolled implementation. (The ordered-sum kernels cannot be
+// reassociated on any platform — see the package comment — so a new arch
+// entry is only worth adding where a bit-preserving trick pays, the way
+// amd64's branchless binary roulette search does.)
+var archImpl *Impl

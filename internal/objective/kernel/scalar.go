@@ -1,0 +1,128 @@
+package kernel
+
+// This file is the executable specification of the kernel layer: one
+// deliberately boring scalar loop per kernel, written the way the original
+// in-package code wrote it before the kernels existed. Every optimized
+// implementation is differential-tested against these functions and must
+// match them bit for bit on contract-valid inputs.
+//
+// Keep these loops naive. Their value is that a reader can check each one
+// against the paper's formula (or the historical accumulation order) in a
+// few seconds.
+
+var scalarImpl = &Impl{
+	Name:        ScalarName,
+	ExecRow:     execRowScalar,
+	CumSum:      cumSumScalar,
+	SearchCum:   searchCumScalar,
+	WeightedCum: weightedCumScalar,
+	Max:         maxScalar,
+	MaxIndexed:  maxIndexedScalar,
+	SumIndexed:  sumIndexedScalar,
+	MinMaxSum:   minMaxSumScalar,
+}
+
+// execRowScalar is Eq. 6 exactly as cloud.VM.EstimateExecTime computes it:
+// length over capacity, plus the transfer term only when the class has
+// bandwidth.
+func execRowScalar(length, fileSize float64, caps, bws, dst []float64) {
+	for k := range dst {
+		t := length / caps[k]
+		if bws[k] > 0 {
+			t += fileSize / bws[k]
+		}
+		dst[k] = t
+	}
+}
+
+// cumSumScalar accumulates in ascending index order — the association every
+// optimized variant must preserve.
+func cumSumScalar(cum, w []float64) float64 {
+	var acc float64
+	for j := range w {
+		acc += w[j]
+		cum[j] = acc
+	}
+	return acc
+}
+
+// searchCumScalar walks the array front to back and returns the first index
+// whose entry exceeds x. On a non-decreasing array this is the upper-bound
+// roulette slot: entries ≤ x form a prefix, so the result equals their
+// count.
+func searchCumScalar(cum []float64, x float64) int {
+	for j, v := range cum {
+		if v > x {
+			return j
+		}
+	}
+	return len(cum)
+}
+
+// weightedCumScalar is Eq. 5's masked weight row fused with its running
+// total: w_j = ba_j·η^β[class(j)], exactly 0 for tabu VMs, accumulated in
+// ascending VM order. The zero is added like any other weight so the
+// accumulator arithmetic is identical across implementations.
+func weightedCumScalar(ba, eta []float64, cls []int32, tabu []bool, cum []float64) float64 {
+	var acc float64
+	for j := range cum {
+		var w float64
+		if !tabu[j] {
+			w = ba[j] * eta[cls[j]]
+		}
+		acc += w
+		cum[j] = acc
+	}
+	return acc
+}
+
+// maxScalar is the canonical Eq. 8 max scan: seeded at 0 because per-VM
+// loads are non-negative.
+func maxScalar(xs []float64) float64 {
+	var max float64
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// maxIndexedScalar is maxScalar over a gather.
+func maxIndexedScalar(vals []float64, idx []int32) float64 {
+	var max float64
+	for _, j := range idx {
+		if v := vals[j]; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// sumIndexedScalar continues acc over the gather in index order.
+func sumIndexedScalar(acc float64, vals []float64, idx []int32) float64 {
+	for _, j := range idx {
+		acc += vals[j]
+	}
+	return acc
+}
+
+// minMaxSumScalar seeds min and max from the first element — the exact
+// shape of the historical Eq. 12/13 loops in internal/metrics — and sums in
+// order.
+func minMaxSumScalar(xs []float64) (min, max, sum float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		sum += x
+	}
+	return min, max, sum
+}

@@ -1,0 +1,362 @@
+package kernel
+
+// Portable hand-unrolled implementations — pure Go, compiled on every
+// platform so the differential tests can exercise them everywhere, and the
+// default dispatch choice where no arch-specific variant is registered.
+//
+// Two unroll disciplines, chosen per kernel by its data dependence:
+//
+//   - Element-wise and max-reduction kernels (ExecRow, Max, MaxIndexed)
+//     unroll 8x with independent lanes: divisions and compares from
+//     different lanes overlap in the pipeline, and max is associative and
+//     commutative over floats (NaN never wins a > comparison in either
+//     shape), so lane-combining is still bit-identical to the scalar scan.
+//
+//   - Ordered accumulations (CumSum, WeightedCum, SumIndexed, MinMaxSum's
+//     sum) unroll 4x but keep ONE accumulator fed in ascending index
+//     order: float addition is not associative, and these sums feed
+//     placement decisions and Eq. 12/13 metrics that must be bit-identical
+//     with kernels on and off. Unrolling here buys only loop-overhead and
+//     bounds-check elimination — the honest limit of vectorizing an
+//     order-pinned sum.
+//
+// SearchCum unrolls the branchless count form: on a non-decreasing array
+// the upper-bound index equals the number of entries ≤ x, each element
+// contributes independently, and integer lane-counts recombine exactly.
+
+var unrolledImpl = &Impl{
+	Name:        "unrolled",
+	ExecRow:     execRowUnrolled,
+	CumSum:      cumSumUnrolled,
+	SearchCum:   searchCumUnrolled,
+	WeightedCum: weightedCumUnrolled,
+	Max:         maxUnrolled,
+	MaxIndexed:  maxIndexedUnrolled,
+	SumIndexed:  sumIndexedUnrolled,
+	MinMaxSum:   minMaxSumUnrolled,
+}
+
+func execRowUnrolled(length, fileSize float64, caps, bws, dst []float64) {
+	n := len(dst)
+	caps = caps[:n]
+	bws = bws[:n]
+	k := 0
+	for ; k+8 <= n; k += 8 {
+		t0 := length / caps[k]
+		t1 := length / caps[k+1]
+		t2 := length / caps[k+2]
+		t3 := length / caps[k+3]
+		t4 := length / caps[k+4]
+		t5 := length / caps[k+5]
+		t6 := length / caps[k+6]
+		t7 := length / caps[k+7]
+		if bws[k] > 0 {
+			t0 += fileSize / bws[k]
+		}
+		if bws[k+1] > 0 {
+			t1 += fileSize / bws[k+1]
+		}
+		if bws[k+2] > 0 {
+			t2 += fileSize / bws[k+2]
+		}
+		if bws[k+3] > 0 {
+			t3 += fileSize / bws[k+3]
+		}
+		if bws[k+4] > 0 {
+			t4 += fileSize / bws[k+4]
+		}
+		if bws[k+5] > 0 {
+			t5 += fileSize / bws[k+5]
+		}
+		if bws[k+6] > 0 {
+			t6 += fileSize / bws[k+6]
+		}
+		if bws[k+7] > 0 {
+			t7 += fileSize / bws[k+7]
+		}
+		dst[k] = t0
+		dst[k+1] = t1
+		dst[k+2] = t2
+		dst[k+3] = t3
+		dst[k+4] = t4
+		dst[k+5] = t5
+		dst[k+6] = t6
+		dst[k+7] = t7
+	}
+	for ; k < n; k++ {
+		t := length / caps[k]
+		if bws[k] > 0 {
+			t += fileSize / bws[k]
+		}
+		dst[k] = t
+	}
+}
+
+func cumSumUnrolled(cum, w []float64) float64 {
+	n := len(w)
+	cum = cum[:n]
+	var acc float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		acc += w[j]
+		cum[j] = acc
+		acc += w[j+1]
+		cum[j+1] = acc
+		acc += w[j+2]
+		cum[j+2] = acc
+		acc += w[j+3]
+		cum[j+3] = acc
+	}
+	for ; j < n; j++ {
+		acc += w[j]
+		cum[j] = acc
+	}
+	return acc
+}
+
+func searchCumUnrolled(cum []float64, x float64) int {
+	n := len(cum)
+	var c0, c1, c2, c3 int
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		if cum[j] <= x {
+			c0++
+		}
+		if cum[j+1] <= x {
+			c1++
+		}
+		if cum[j+2] <= x {
+			c2++
+		}
+		if cum[j+3] <= x {
+			c3++
+		}
+	}
+	for ; j < n; j++ {
+		if cum[j] <= x {
+			c0++
+		}
+	}
+	return c0 + c1 + c2 + c3
+}
+
+func weightedCumUnrolled(ba, eta []float64, cls []int32, tabu []bool, cum []float64) float64 {
+	n := len(cum)
+	ba = ba[:n]
+	cls = cls[:n]
+	tabu = tabu[:n]
+	var acc float64
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		var w0, w1, w2, w3 float64
+		if !tabu[j] {
+			w0 = ba[j] * eta[cls[j]]
+		}
+		if !tabu[j+1] {
+			w1 = ba[j+1] * eta[cls[j+1]]
+		}
+		if !tabu[j+2] {
+			w2 = ba[j+2] * eta[cls[j+2]]
+		}
+		if !tabu[j+3] {
+			w3 = ba[j+3] * eta[cls[j+3]]
+		}
+		acc += w0
+		cum[j] = acc
+		acc += w1
+		cum[j+1] = acc
+		acc += w2
+		cum[j+2] = acc
+		acc += w3
+		cum[j+3] = acc
+	}
+	for ; j < n; j++ {
+		var w float64
+		if !tabu[j] {
+			w = ba[j] * eta[cls[j]]
+		}
+		acc += w
+		cum[j] = acc
+	}
+	return acc
+}
+
+func maxUnrolled(xs []float64) float64 {
+	var m0, m1, m2, m3, m4, m5, m6, m7 float64
+	n := len(xs)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		if xs[i] > m0 {
+			m0 = xs[i]
+		}
+		if xs[i+1] > m1 {
+			m1 = xs[i+1]
+		}
+		if xs[i+2] > m2 {
+			m2 = xs[i+2]
+		}
+		if xs[i+3] > m3 {
+			m3 = xs[i+3]
+		}
+		if xs[i+4] > m4 {
+			m4 = xs[i+4]
+		}
+		if xs[i+5] > m5 {
+			m5 = xs[i+5]
+		}
+		if xs[i+6] > m6 {
+			m6 = xs[i+6]
+		}
+		if xs[i+7] > m7 {
+			m7 = xs[i+7]
+		}
+	}
+	for ; i < n; i++ {
+		if xs[i] > m0 {
+			m0 = xs[i]
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	if m4 > m0 {
+		m0 = m4
+	}
+	if m5 > m0 {
+		m0 = m5
+	}
+	if m6 > m0 {
+		m0 = m6
+	}
+	if m7 > m0 {
+		m0 = m7
+	}
+	return m0
+}
+
+func maxIndexedUnrolled(vals []float64, idx []int32) float64 {
+	var m0, m1, m2, m3 float64
+	n := len(idx)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		if v := vals[idx[i]]; v > m0 {
+			m0 = v
+		}
+		if v := vals[idx[i+1]]; v > m1 {
+			m1 = v
+		}
+		if v := vals[idx[i+2]]; v > m2 {
+			m2 = v
+		}
+		if v := vals[idx[i+3]]; v > m3 {
+			m3 = v
+		}
+	}
+	for ; i < n; i++ {
+		if v := vals[idx[i]]; v > m0 {
+			m0 = v
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
+}
+
+func sumIndexedUnrolled(acc float64, vals []float64, idx []int32) float64 {
+	n := len(idx)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		acc += vals[idx[i]]
+		acc += vals[idx[i+1]]
+		acc += vals[idx[i+2]]
+		acc += vals[idx[i+3]]
+	}
+	for ; i < n; i++ {
+		acc += vals[idx[i]]
+	}
+	return acc
+}
+
+func minMaxSumUnrolled(xs []float64) (min, max, sum float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0, 0
+	}
+	mn0, mn1, mn2, mn3 := xs[0], xs[0], xs[0], xs[0]
+	mx0, mx1, mx2, mx3 := xs[0], xs[0], xs[0], xs[0]
+	var acc float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := xs[i], xs[i+1], xs[i+2], xs[i+3]
+		if x0 < mn0 {
+			mn0 = x0
+		}
+		if x0 > mx0 {
+			mx0 = x0
+		}
+		if x1 < mn1 {
+			mn1 = x1
+		}
+		if x1 > mx1 {
+			mx1 = x1
+		}
+		if x2 < mn2 {
+			mn2 = x2
+		}
+		if x2 > mx2 {
+			mx2 = x2
+		}
+		if x3 < mn3 {
+			mn3 = x3
+		}
+		if x3 > mx3 {
+			mx3 = x3
+		}
+		acc += x0
+		acc += x1
+		acc += x2
+		acc += x3
+	}
+	for ; i < n; i++ {
+		x := xs[i]
+		if x < mn0 {
+			mn0 = x
+		}
+		if x > mx0 {
+			mx0 = x
+		}
+		acc += x
+	}
+	if mn1 < mn0 {
+		mn0 = mn1
+	}
+	if mn2 < mn0 {
+		mn0 = mn2
+	}
+	if mn3 < mn0 {
+		mn0 = mn3
+	}
+	if mx1 > mx0 {
+		mx0 = mx1
+	}
+	if mx2 > mx0 {
+		mx0 = mx2
+	}
+	if mx3 > mx0 {
+		mx0 = mx3
+	}
+	return mn0, mx0, acc
+}

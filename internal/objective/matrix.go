@@ -35,6 +35,7 @@ import (
 	"math"
 
 	"bioschedsim/internal/cloud"
+	"bioschedsim/internal/objective/kernel"
 )
 
 // Mode selects the Matrix storage strategy.
@@ -130,9 +131,7 @@ func NewMatrix(cloudlets []*cloud.Cloudlet, vms []*cloud.VM, opts Options) *Matr
 	ParallelFor(workers, mx.n, func(i int) {
 		c := cloudlets[i]
 		row := mx.exec[i*k : (i+1)*k]
-		for cl, rep := range mx.classes.Reps {
-			row[cl] = ExecTime(c, rep)
-		}
+		mx.classes.ExecTimes(c, row)
 		if withCost {
 			crow := mx.cost[i*k : (i+1)*k]
 			for cl, rep := range mx.classes.Reps {
@@ -223,13 +222,7 @@ func (mx *Matrix) MakespanOf(pos []int, busy []float64) float64 {
 			busy[j] += ExecTime(mx.cloudlets[i], mx.vms[j])
 		}
 	}
-	var max float64
-	for _, t := range busy {
-		if t > max {
-			max = t
-		}
-	}
-	return max
+	return kernel.Max(busy)
 }
 
 // CostOf sums the processing cost of the assignment vector pos in ascending
@@ -253,12 +246,27 @@ func (mx *Matrix) CostOf(pos []int) float64 {
 // Norms returns the summed exec time and cost over every (cloudlet, VM)
 // pair — the normalizers multi-objective searches (PSO Combined) divide by.
 // Accumulation iterates (i, then j) exactly like the historical in-algorithm
-// matrices did. Zero sums are lifted to 1 so they can be divided by.
+// matrices did: the kernel gathers each cloudlet's compressed class row
+// through the VM→class index, threading one accumulator across rows so the
+// grouping matches the flat (i, j) loop bit for bit. Zero sums are lifted to
+// 1 so they can be divided by.
 func (mx *Matrix) Norms() (normTime, normCost float64) {
+	idx := mx.classes.Index
+	row := make([]float64, mx.classes.K)
 	for i := 0; i < mx.n; i++ {
-		for j := 0; j < mx.m; j++ {
-			normTime += mx.Exec(i, j)
-			normCost += mx.Cost(i, j)
+		if mx.exec != nil {
+			normTime = kernel.SumIndexed(normTime, mx.exec[i*mx.classes.K:(i+1)*mx.classes.K], idx)
+		} else {
+			normTime = kernel.SumIndexed(normTime, mx.classes.ExecTimes(mx.cloudlets[i], row), idx)
+		}
+		if mx.cost != nil {
+			normCost = kernel.SumIndexed(normCost, mx.cost[i*mx.classes.K:(i+1)*mx.classes.K], idx)
+		} else {
+			// Cost equivalence needs the full pricing key, which this matrix was
+			// not built with: sum from the concrete VMs like Cost() does.
+			for j := 0; j < mx.m; j++ {
+				normCost += cloud.ProcessingCost(mx.cloudlets[i], mx.vms[j])
+			}
 		}
 	}
 	//schedlint:ignore floateq sum of non-negative exec times is exactly 0 iff every term is 0; guards division by zero
@@ -285,6 +293,11 @@ type Classes struct {
 	Reps []*cloud.VM
 	// K is the class count.
 	K int
+
+	// caps and bws hold each class representative's capacity and bandwidth
+	// in class order — the structure-of-arrays inputs kernel.ExecRow fills a
+	// whole Eq. 6 row from without touching a VM pointer per class.
+	caps, bws []float64
 }
 
 // ClassesOf partitions vms by execution equivalence (capacity, bandwidth).
@@ -311,6 +324,8 @@ func classesOf(vms []*cloud.VM, withCost bool) *Classes {
 			id = int32(len(cl.Reps))
 			seen[key] = id
 			cl.Reps = append(cl.Reps, vm)
+			cl.caps = append(cl.caps, vm.Capacity())
+			cl.bws = append(cl.bws, vm.Bw)
 		}
 		cl.Index[j] = id
 	}
@@ -320,12 +335,18 @@ func classesOf(vms []*cloud.VM, withCost bool) *Classes {
 
 // ExecTimes fills buf (len ≥ K) with Eq. 6's d for cloudlet c on each class
 // and returns buf[:K]. Per-arrival policies use this to price a cloudlet
-// against a whole fleet with K formula evaluations instead of m.
+// against a whole fleet with K formula evaluations instead of m. The fill
+// runs through kernel.ExecRow, bit-identical to ExecTime per entry.
 func (cl *Classes) ExecTimes(c *cloud.Cloudlet, buf []float64) []float64 {
 	buf = buf[:cl.K]
-	for i, rep := range cl.Reps {
-		buf[i] = ExecTime(c, rep)
+	if cl.caps == nil {
+		// Classes built by hand (without classesOf) lack the SoA views.
+		for i, rep := range cl.Reps {
+			buf[i] = ExecTime(c, rep)
+		}
+		return buf
 	}
+	kernel.ExecRow(c.Length, c.FileSize, cl.caps, cl.bws, buf)
 	return buf
 }
 
