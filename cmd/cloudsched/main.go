@@ -53,6 +53,8 @@ func main() {
 		err = cmdGenTrace(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -100,6 +102,18 @@ Commands:
   gentrace [flags]         write a synthetic workload trace (CSV, or the
                            columnar binary format with -columnar)
       -n N -rate R -out PATH -deadline-slack S -columnar -compress
+      -process poisson|mmpp|diurnal   arrival process (mmpp: -rate-a -rate-b
+      -sojourn-a -sojourn-b; diurnal: -amplitude -period, rate from -rate)
+  plan -spec PATH          capacity verdict: binary-search the smallest
+                           fleet that sustains the spec's workload within
+                           its latency SLO (elastic specs: one autoscaled
+                           run from min_vms)
+  plan replay -spec PATH -seed N [-fleet K]
+                           re-run one measured probe exactly
+  plan oracle [flags]      one qmodel differential: simulated mean wait vs
+                           the analytic M/M/1 / M/M/c Wq (exits non-zero
+                           outside the band)
+      -rho F -servers N -vms N -n N -warmup N -mu F -seed N -tol F
   trace convert [flags]    convert a trace between CSV and the columnar
                            binary format (direction sniffed from -in)
       -in PATH -out PATH -block-rows N -compress -readers K

@@ -14,6 +14,20 @@ import (
 	"bioschedsim/internal/workload"
 )
 
+// arrivalProcess builds a gentrace arrival process by name.
+func arrivalProcess(name string, rate, rateA, rateB, sojournA, sojournB, amplitude, period float64) (workload.ArrivalProcess, error) {
+	switch name {
+	case "poisson":
+		return workload.NewPoisson(rate)
+	case "mmpp":
+		return workload.NewMMPP(rateA, rateB, sojournA, sojournB)
+	case "diurnal":
+		return workload.NewDiurnal(rate, amplitude, period)
+	default:
+		return nil, fmt.Errorf("gentrace: unknown arrival process %q (want poisson, mmpp, or diurnal)", name)
+	}
+}
+
 // onlinePolicy builds a per-arrival policy by name.
 func onlinePolicy(name string, seed int64) (online.Scheduler, error) {
 	return online.NewPolicy(name, rand.New(rand.NewSource(seed)))
@@ -69,7 +83,14 @@ func cmdReplay(args []string) error {
 func cmdGenTrace(args []string) error {
 	fs := flag.NewFlagSet("gentrace", flag.ExitOnError)
 	n := fs.Int("n", 1000, "cloudlet count")
-	rate := fs.Float64("rate", 4, "Poisson arrival rate (cloudlets/second)")
+	rate := fs.Float64("rate", 4, "mean arrival rate (cloudlets/second; poisson and diurnal)")
+	process := fs.String("process", "poisson", "arrival process: poisson | mmpp | diurnal")
+	rateA := fs.Float64("rate-a", 2, "mmpp: arrival rate in the calm state")
+	rateB := fs.Float64("rate-b", 16, "mmpp: arrival rate in the burst state")
+	sojournA := fs.Float64("sojourn-a", 60, "mmpp: mean calm-state holding time (s)")
+	sojournB := fs.Float64("sojourn-b", 10, "mmpp: mean burst-state holding time (s)")
+	amplitude := fs.Float64("amplitude", 0.5, "diurnal: modulation depth in [0, 1)")
+	period := fs.Float64("period", 600, "diurnal: seconds per cycle")
 	out := fs.String("out", "", "output path (default stdout)")
 	seed := fs.Uint64("seed", 42, "root random seed")
 	slack := fs.Float64("deadline-slack", 0, "assign deadlines at this slack (0 = none)")
@@ -82,7 +103,11 @@ func cmdGenTrace(args []string) error {
 	if *columnar && *out == "" {
 		return fmt.Errorf("gentrace: -columnar requires -out (binary traces don't go to a terminal)")
 	}
-	entries, err := workload.SyntheticTrace(workload.HeterogeneousCloudletSpec(), *n, *rate, *seed)
+	proc, err := arrivalProcess(*process, *rate, *rateA, *rateB, *sojournA, *sojournB, *amplitude, *period)
+	if err != nil {
+		return err
+	}
+	entries, err := workload.SyntheticTraceFrom(workload.HeterogeneousCloudletSpec(), *n, proc, *seed)
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,7 @@ const (
 	InvShardInvariance  = "shard-invariance"
 	InvKernelInvariance = "kernel-invariance"
 	InvOracle           = "oracle"
+	InvQModelOracle     = "qmodel-oracle"
 	InvEq12             = "eq12"
 	InvEq13             = "eq13"
 	InvRejectEmpty      = "reject-empty"

@@ -1,0 +1,77 @@
+package check
+
+import (
+	"bioschedsim/internal/plan"
+	"bioschedsim/internal/workload"
+)
+
+// The qmodel-oracle invariant validates the capacity-planning engine
+// against closed-form queueing theory: a homogeneous fleet under plan's
+// queue dispatch is an exact M/M/1 (one server) or M/M/c system, so its
+// simulated mean wait must agree with internal/qmodel's analytic Wq within
+// a documented relative-error band, and every post-warmup completion must
+// be recorded (count conservation — a recorder that drops samples can make
+// any latency distribution look healthy).
+//
+// newOracleProcess and newOracleRecorder are plant seams in the style of
+// shardExecute: tests swap them for deliberately broken implementations (a
+// biased interarrival generator, a sample-dropping recorder) to prove the
+// invariant detects both failure modes; production checking always returns
+// nil, which makes plan.Run use the spec's real process and recorder.
+var (
+	newOracleProcess  = func(c plan.OracleCase) workload.ArrivalProcess { return nil }
+	newOracleRecorder = func() plan.Recorder { return nil }
+)
+
+// OracleCases is the canonical qmodel-differential sweep: ρ ∈
+// {0.3, 0.6, 0.9} against M/M/1 (one 1-PE VM) and M/M/c in both fleet
+// shapes (c 1-PE VMs behind the central queue, and one c-PE VM). Bands are
+// the measured-and-documented tolerances from internal/plan's
+// TestQModelDifferential: 10% at ρ ≤ 0.6, 15% at ρ = 0.9 where the
+// queue's relaxation time (∝ 1/(1−ρ)²) stretches the transient.
+func OracleCases() []plan.OracleCase {
+	return []plan.OracleCase{
+		{Rho: 0.3, Servers: 1, VMs: 1, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+		{Rho: 0.6, Servers: 1, VMs: 1, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+		{Rho: 0.9, Servers: 1, VMs: 1, N: 60000, Warmup: 10000, Mu: 1, Seed: 1, Tol: 0.15},
+		{Rho: 0.3, Servers: 4, VMs: 4, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+		{Rho: 0.6, Servers: 4, VMs: 4, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+		{Rho: 0.9, Servers: 4, VMs: 4, N: 60000, Warmup: 10000, Mu: 1, Seed: 1, Tol: 0.15},
+		{Rho: 0.3, Servers: 4, VMs: 1, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+		{Rho: 0.6, Servers: 4, VMs: 1, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+		{Rho: 0.9, Servers: 4, VMs: 1, N: 60000, Warmup: 10000, Mu: 1, Seed: 1, Tol: 0.15},
+	}
+}
+
+// CheckQueueOracle runs the full differential sweep and returns the first
+// violation, nil when the simulated queue agrees with theory everywhere.
+// Every violation message ends with a runnable `cloudsched plan oracle`
+// replay line reproducing the failing case outside the harness.
+func CheckQueueOracle() *Violation {
+	for _, c := range OracleCases() {
+		if v := checkOracleCase(c); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// checkOracleCase judges one differential configuration.
+func checkOracleCase(c plan.OracleCase) *Violation {
+	opts := &plan.RunOptions{Process: newOracleProcess(c), Recorder: newOracleRecorder()}
+	res, err := c.RunOracle(opts)
+	if err != nil {
+		return violationf(InvQModelOracle, "running rho=%g c=%d vms=%d: %v", c.Rho, c.Servers, c.VMs, err)
+	}
+	if want := uint64(c.N - c.Warmup); res.Count != want {
+		return violationf(InvQModelOracle,
+			"sample loss at rho=%g c=%d: recorded %d of %d post-warmup completions\nreplay: %s",
+			c.Rho, c.Servers, res.Count, want, c.ReplayCommand())
+	}
+	if res.RelErr > c.Tol {
+		return violationf(InvQModelOracle,
+			"rho=%g c=%d vms=%d: simulated mean wait %.4f vs analytic %.4f — rel err %.4f exceeds band %.2f\nreplay: %s",
+			c.Rho, c.Servers, c.VMs, res.SimMeanWait, res.TheoryWait, res.RelErr, c.Tol, c.ReplayCommand())
+	}
+	return nil
+}

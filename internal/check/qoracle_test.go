@@ -1,0 +1,136 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"bioschedsim/internal/plan"
+	"bioschedsim/internal/workload"
+	"bioschedsim/internal/xrand"
+)
+
+// TestQModelOracle is the named CI gate: the real engine must agree with
+// the analytic M/M/1 and M/M/c oracles across the whole ρ-sweep. This is
+// the green half of the both-ways proof; the plant tests below are the red
+// half.
+func TestQModelOracle(t *testing.T) {
+	if v := CheckQueueOracle(); v != nil {
+		t.Fatalf("qmodel oracle violated on the real engine: %v", v)
+	}
+}
+
+// biasedPoisson is the seeded broken-arrival plant: it draws from the same
+// stream as the real Poisson process but scales every interarrival by
+// 0.75, the classic "forgot the rate divisor vs scale" generator bug. The
+// effective rate is λ/0.75, so at the oracle's ρ=0.3 case the queue
+// actually runs at ρ=0.4 and the mean wait lands ~55% off theory — far
+// outside every band.
+type biasedPoisson struct{ rate float64 }
+
+func (b biasedPoisson) Name() string    { return "biased-poisson" }
+func (b biasedPoisson) Rate() float64   { return b.rate }
+func (b biasedPoisson) Validate() error { return nil }
+
+func (b biasedPoisson) Offsets(n int, seed uint64) ([]float64, error) {
+	r := xrand.New(seed, 5)
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += 0.75 * r.ExpFloat64() / b.rate
+		out[i] = t
+	}
+	return out, nil
+}
+
+// TestQModelOracleCatchesBiasedArrivals plants the biased generator behind
+// the process seam and requires the invariant to fail with a runnable
+// replay line.
+func TestQModelOracleCatchesBiasedArrivals(t *testing.T) {
+	orig := newOracleProcess
+	defer func() { newOracleProcess = orig }()
+	newOracleProcess = func(c plan.OracleCase) workload.ArrivalProcess {
+		return biasedPoisson{rate: c.Lambda()}
+	}
+	v := CheckQueueOracle()
+	if v == nil {
+		t.Fatal("biased interarrival generator passed the qmodel oracle")
+	}
+	if v.Invariant != InvQModelOracle {
+		t.Fatalf("caught invariant %q, want %q (%v)", v.Invariant, InvQModelOracle, v.Err)
+	}
+	if !strings.Contains(v.Err.Error(), "cloudsched plan oracle -rho ") {
+		t.Fatalf("violation lacks a replay line: %v", v.Err)
+	}
+}
+
+// droppingRecorder is the seeded broken-measurement plant: it silently
+// discards every 10th observation — the "metrics pipeline sampled away the
+// tail" failure that makes SLO verdicts optimistic.
+type droppingRecorder struct {
+	inner *plan.LatencyStats
+	seen  int
+}
+
+func (d *droppingRecorder) Observe(wait, latency float64) {
+	d.seen++
+	if d.seen%10 == 0 {
+		return
+	}
+	d.inner.Observe(wait, latency)
+}
+
+func (d *droppingRecorder) Count() uint64              { return d.inner.Count() }
+func (d *droppingRecorder) MeanWait() float64          { return d.inner.MeanWait() }
+func (d *droppingRecorder) Quantile(q float64) float64 { return d.inner.Quantile(q) }
+
+// TestQModelOracleCatchesDroppedSamples plants the dropping recorder behind
+// the recorder seam: count conservation (N − Warmup recorded observations)
+// must flag it, again with a replay line.
+func TestQModelOracleCatchesDroppedSamples(t *testing.T) {
+	orig := newOracleRecorder
+	defer func() { newOracleRecorder = orig }()
+	newOracleRecorder = func() plan.Recorder {
+		return &droppingRecorder{inner: plan.NewLatencyStats()}
+	}
+	v := CheckQueueOracle()
+	if v == nil {
+		t.Fatal("sample-dropping recorder passed the qmodel oracle")
+	}
+	if v.Invariant != InvQModelOracle {
+		t.Fatalf("caught invariant %q, want %q (%v)", v.Invariant, InvQModelOracle, v.Err)
+	}
+	if !strings.Contains(v.Err.Error(), "sample loss") {
+		t.Fatalf("violation not attributed to sample loss: %v", v.Err)
+	}
+	if !strings.Contains(v.Err.Error(), "cloudsched plan oracle -rho ") {
+		t.Fatalf("violation lacks a replay line: %v", v.Err)
+	}
+}
+
+// TestOracleCasesMatchDocumentedBands pins the sweep table itself: every
+// ρ ∈ {0.3, 0.6, 0.9} appears against both an M/M/1 and M/M/c fleet, and
+// the bands match the documented 10%/15% policy.
+func TestOracleCasesMatchDocumentedBands(t *testing.T) {
+	cases := OracleCases()
+	seen := map[[2]any]bool{}
+	for _, c := range cases {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("sweep case invalid: %v", err)
+		}
+		seen[[2]any{c.Rho, c.Servers}] = true
+		want := 0.10
+		if c.Rho == 0.9 {
+			want = 0.15
+		}
+		if c.Tol != want {
+			t.Errorf("rho=%v c=%d: band %v, documented policy %v", c.Rho, c.Servers, c.Tol, want)
+		}
+	}
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		for _, servers := range []int{1, 4} {
+			if !seen[[2]any{rho, servers}] {
+				t.Errorf("sweep missing rho=%v servers=%d", rho, servers)
+			}
+		}
+	}
+}

@@ -42,6 +42,12 @@ type Policy struct {
 	// work (0 = instant). Real clouds pay tens of seconds here, which is
 	// the lag window threshold autoscaling is criticized for.
 	BootDelay sim.Time
+	// MonitorUntil keeps monitoring alive through idle instants up to this
+	// simulated time (0 = monitor only while the fleet holds cloudlets, the
+	// batch behavior). Open-arrival workloads must set it to the last
+	// arrival: a momentarily drained fleet between arrivals would otherwise
+	// end monitoring for the rest of the run.
+	MonitorUntil sim.Time
 }
 
 // Validate rejects unusable policies.
@@ -171,10 +177,11 @@ func (a *Autoscaler) tick() {
 			}
 		}
 	}
-	// Keep monitoring while work remains or forever until Stop: the engine
-	// drains when no events are left, so reschedule only when the plant is
-	// still busy — otherwise monitoring would keep the simulation alive.
-	if a.busy() {
+	// Keep monitoring while work remains (or arrivals are still due, when
+	// the policy declares a horizon): the engine drains when no events are
+	// left, so reschedule only then — otherwise monitoring would keep the
+	// simulation alive forever.
+	if a.busy() || now < a.policy.MonitorUntil {
 		a.broker.Engine().Schedule(a.policy.Interval, sim.PriorityLow, a.tick)
 	}
 }

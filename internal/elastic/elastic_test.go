@@ -275,3 +275,47 @@ func TestProvisionedVMsReceiveWork(t *testing.T) {
 		t.Fatal("no provisioned VM ever received work")
 	}
 }
+
+// TestMonitorSurvivesIdleGap pins the open-arrival contract: a second burst
+// scheduled after an idle gap must still be monitored when the policy
+// declares a MonitorUntil horizon — and, the old batch behavior, monitoring
+// must die at the first drained tick without one.
+func TestMonitorSurvivesIdleGap(t *testing.T) {
+	burst := func(monitorUntil sim.Time) int {
+		env, eng, broker := plant(t, 2)
+		pol := defaultPolicy()
+		pol.MonitorUntil = monitorUntil
+		as, err := New(broker, pol, cloud.TimeSharedFactory, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One trivial cloudlet at t=0, then nothing until a 40-cloudlet
+		// burst at t=10 — the fleet is fully drained at every tick between.
+		eng.ScheduleAt(0, sim.PriorityAcquire, func() {
+			broker.Submit(cloud.NewCloudlet(0, 100, 1, 0, 0), env.VMs[0])
+		})
+		for i := 1; i <= 40; i++ {
+			c := cloud.NewCloudlet(i, 20000, 1, 0, 0)
+			vm := env.VMs[i%2]
+			eng.ScheduleAt(10, sim.PriorityAcquire, func() { broker.Submit(c, vm) })
+		}
+		as.Start()
+		eng.Run()
+		if got := len(broker.Finished()); got != 41 {
+			t.Fatalf("finished: %d, want 41", got)
+		}
+		ups := 0
+		for _, ev := range as.Events() {
+			if ev.Act == ScaleUp {
+				ups++
+			}
+		}
+		return ups
+	}
+	if ups := burst(10); ups == 0 {
+		t.Fatal("MonitorUntil=10: burst after the idle gap saw no scale-ups — monitoring died at a drained tick")
+	}
+	if ups := burst(0); ups != 0 {
+		t.Fatalf("MonitorUntil=0 (batch behavior): %d scale-ups after monitoring should have stopped", ups)
+	}
+}

@@ -29,6 +29,8 @@ var deterministicPkgs = []string{
 	"internal/cloud",
 	"internal/check",
 	"internal/schedtest",
+	"internal/plan",
+	"internal/qmodel",
 }
 
 // simclockExempt are packages inside the deterministic set's neighborhood

@@ -1,0 +1,118 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Probe is one measured fleet size inside a verdict, in probe order.
+type Probe struct {
+	Fleet         int
+	PeakFleet     int
+	Count         uint64
+	MeanWait      float64
+	QuantileValue float64 // latency at the spec's SLO quantile
+	Met           bool
+	ScaleUps      int
+	ScaleDowns    int
+}
+
+// Verdict answers the capacity question for one spec.
+type Verdict struct {
+	Spec        *Spec
+	Elastic     bool
+	Sustainable bool
+	// MinFleet is the smallest fleet meeting the SLO (static specs), or
+	// the peak fleet the autoscaler reached (elastic specs). Zero when the
+	// SLO is unreachable within the fleet bounds.
+	MinFleet int
+	Probes   []Probe
+}
+
+// probe runs one fleet size and appends the measurement.
+func (v *Verdict) probe(fleet int, opts *RunOptions) (bool, error) {
+	res, err := Run(v.Spec, fleet, opts)
+	if err != nil {
+		return false, err
+	}
+	met := res.SLOMet(v.Spec)
+	p := Probe{
+		Fleet:         fleet,
+		PeakFleet:     res.PeakFleet,
+		Count:         res.Recorder.Count(),
+		MeanWait:      res.Recorder.MeanWait(),
+		QuantileValue: res.SLOValue(v.Spec),
+		Met:           met,
+		ScaleUps:      res.ScaleUps,
+		ScaleDowns:    res.ScaleDowns,
+	}
+	v.Probes = append(v.Probes, p)
+	return met, nil
+}
+
+// Plan answers "will this fleet sustain the workload within the SLO?". For
+// static specs it binary-searches the smallest fleet size in
+// [MinVMs, MaxVMs] that meets the SLO — queue wait is monotone in capacity,
+// so the passing region is an up-set and bisection is sound. For elastic
+// specs it runs once from MinVMs and reports whether the autoscaler held
+// the SLO and how big the fleet had to get. Every probe is recorded so the
+// verdict documents its own evidence.
+func Plan(spec *Spec, opts *RunOptions) (*Verdict, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	v := &Verdict{Spec: spec, Elastic: spec.Elastic != nil}
+	if v.Elastic {
+		met, err := v.probe(spec.Fleet.MinVMs, opts)
+		if err != nil {
+			return nil, err
+		}
+		v.Sustainable = met
+		if met {
+			v.MinFleet = v.Probes[0].PeakFleet
+		}
+		return v, nil
+	}
+
+	lo, hi := spec.Fleet.MinVMs, spec.Fleet.MaxVMs
+	// The whole search is pointless if even the largest allowed fleet
+	// misses the SLO — establish the upper bracket first.
+	met, err := v.probe(hi, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !met {
+		return v, nil
+	}
+	v.Sustainable = true
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		met, err := v.probe(mid, opts)
+		if err != nil {
+			return nil, err
+		}
+		if met {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	v.MinFleet = lo
+	return v, nil
+}
+
+// ReplayCommand formats the one-liner that reproduces a single measured
+// run from its spec file — the same UX as `schedcheck replay`.
+func ReplayCommand(specPath string, seed uint64, fleet int) string {
+	return "cloudsched plan replay -spec " + specPath +
+		" -seed " + strconv.FormatUint(seed, 10) +
+		" -fleet " + strconv.Itoa(fleet)
+}
+
+// OracleReplayCommand formats the one-liner that reproduces one
+// qmodel-oracle differential case outside the test harness; internal/check
+// prints it in qmodel-oracle violations.
+func OracleReplayCommand(rho float64, servers, vms, n, warmup int, mu float64, seed uint64, tol float64) string {
+	return fmt.Sprintf("cloudsched plan oracle -rho %g -servers %d -vms %d -n %d -warmup %d -mu %g -seed %d -tol %g",
+		rho, servers, vms, n, warmup, mu, seed, tol)
+}

@@ -1,0 +1,301 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+// oracleSweep is the documented qmodel-differential table: the simulated
+// queue must agree with the analytic M/M/1 and M/M/c mean wait within
+// these relative-error bands. The configuration is fixed-seed and fully
+// deterministic, so the bands are not statistical gambles — they were
+// measured once (max observed 7.4% at ρ=0.3, c=4, where the tiny absolute
+// Wq ≈ 13 ms amplifies relative error) and hold bit-for-bit in CI. ρ=0.9
+// gets a wider band and a longer stream because an M/M/1 queue's
+// relaxation time grows like 1/(μ(1−ρ)²): at ρ=0.9 transients decay ~36×
+// slower than at ρ=0.6, so the estimator needs 60k arrivals and still
+// carries more autocorrelation-induced error.
+var oracleSweep = []OracleCase{
+	{Rho: 0.3, Servers: 1, VMs: 1, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+	{Rho: 0.6, Servers: 1, VMs: 1, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+	{Rho: 0.9, Servers: 1, VMs: 1, N: 60000, Warmup: 10000, Mu: 1, Seed: 1, Tol: 0.15},
+	{Rho: 0.3, Servers: 4, VMs: 4, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+	{Rho: 0.6, Servers: 4, VMs: 4, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+	{Rho: 0.9, Servers: 4, VMs: 4, N: 60000, Warmup: 10000, Mu: 1, Seed: 1, Tol: 0.15},
+	{Rho: 0.3, Servers: 4, VMs: 1, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+	{Rho: 0.6, Servers: 4, VMs: 1, N: 20000, Warmup: 2000, Mu: 1, Seed: 1, Tol: 0.10},
+	{Rho: 0.9, Servers: 4, VMs: 1, N: 60000, Warmup: 10000, Mu: 1, Seed: 1, Tol: 0.15},
+}
+
+// TestQModelDifferential is the headline differential: simulated mean wait
+// vs the analytic oracle across the ρ-sweep, plus full sample accounting.
+func TestQModelDifferential(t *testing.T) {
+	for _, c := range oracleSweep {
+		res, err := c.RunOracle(nil)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if res.Count != uint64(c.N-c.Warmup) {
+			t.Errorf("rho=%v c=%d vms=%d: recorded %d samples, want %d", c.Rho, c.Servers, c.VMs, res.Count, c.N-c.Warmup)
+		}
+		if res.RelErr > c.Tol {
+			t.Errorf("rho=%v c=%d vms=%d: sim %.4f vs theory %.4f — rel err %.4f exceeds band %.2f\nreplay: %s",
+				c.Rho, c.Servers, c.VMs, res.SimMeanWait, res.TheoryWait, res.RelErr, c.Tol, c.ReplayCommand())
+		}
+		if !res.Pass(c) && res.RelErr <= c.Tol && res.Count == uint64(c.N-c.Warmup) {
+			t.Errorf("Pass() inconsistent with its parts: %+v", res)
+		}
+	}
+}
+
+// TestCentralQueueFleetShapeInvariant pins the M/M/c equivalence that makes
+// the oracle differential meaningful: a 4-VM × 1-PE fleet behind the
+// central queue and a single 4-PE VM are the same queueing system, so with
+// identical seeds their mean waits must be bit-identical.
+func TestCentralQueueFleetShapeInvariant(t *testing.T) {
+	multi := OracleCase{Rho: 0.6, Servers: 4, VMs: 4, N: 20000, Warmup: 2000, Mu: 1, Seed: 5, Tol: 0.10}
+	single := multi
+	single.VMs = 1
+	a, err := multi.RunOracle(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := single.RunOracle(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SimMeanWait != b.SimMeanWait || a.Count != b.Count {
+		t.Fatalf("4×1PE (%v, %d) differs from 1×4PE (%v, %d)", a.SimMeanWait, a.Count, b.SimMeanWait, b.Count)
+	}
+}
+
+// TestRunDeterministic pins run-level reproducibility: same spec, same
+// seed, same statistics, and a different seed moves them.
+func TestRunDeterministic(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workload.Cloudlets, spec.Workload.Warmup = 4000, 400
+	a, err := Run(spec, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Recorder.MeanWait() != b.Recorder.MeanWait() || a.Recorder.Quantile(0.99) != b.Recorder.Quantile(0.99) {
+		t.Fatalf("identical runs diverged: %v vs %v", a.Recorder.MeanWait(), b.Recorder.MeanWait())
+	}
+	other := *spec
+	other.Seed = spec.Seed + 1
+	c, err := Run(&other, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Recorder.MeanWait() == c.Recorder.MeanWait() {
+		t.Fatal("different seeds produced identical mean wait")
+	}
+}
+
+// TestRunSpreadDispatch exercises the per-VM-queue path: everything
+// finishes, all post-warmup samples are recorded, and waits are
+// non-negative.
+func TestRunSpreadDispatch(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Fleet.Dispatch = DispatchSpread
+	spec.Workload.Cloudlets, spec.Workload.Warmup = 3000, 300
+	res, err := Run(spec, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recorder.Count() != 2700 {
+		t.Fatalf("recorded %d samples, want 2700", res.Recorder.Count())
+	}
+	if mw := res.Recorder.MeanWait(); math.IsNaN(mw) || mw < 0 {
+		t.Fatalf("mean wait %v", mw)
+	}
+	if res.PeakFleet != 12 || res.ScaleUps != 0 {
+		t.Fatalf("static run reported scaling: %+v", res)
+	}
+}
+
+// TestRunElastic drives the autoscaled variant: an underprovisioned fleet
+// facing a sustained overload must scale up, finish everything, and record
+// every post-warmup sample.
+func TestRunElastic(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workload.Rate = 6 // needs ~6 servers at μ=1; starts with 1
+	spec.Workload.Cloudlets, spec.Workload.Warmup = 4000, 400
+	spec.Fleet.MinVMs, spec.Fleet.MaxVMs = 1, 16
+	spec.Elastic = &ElasticSpec{ScaleUpLoad: 3, ScaleDownLoad: 0.5, Interval: 5}
+	res, err := Run(spec, spec.Fleet.MinVMs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ScaleUps == 0 {
+		t.Fatal("overloaded elastic run never scaled up")
+	}
+	if res.PeakFleet <= 1 || res.PeakFleet > 16 {
+		t.Fatalf("peak fleet %d out of bounds", res.PeakFleet)
+	}
+	if res.Recorder.Count() != 3600 {
+		t.Fatalf("recorded %d samples, want 3600", res.Recorder.Count())
+	}
+}
+
+// TestRunRejects covers the run-level argument guards.
+func TestRunRejects(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(spec, 0, nil); err == nil {
+		t.Fatal("fleet 0 accepted")
+	}
+	bad := *spec
+	bad.SLO.TargetSeconds = math.NaN()
+	if _, err := Run(&bad, 1, nil); err == nil {
+		t.Fatal("invalid spec accepted by Run")
+	}
+}
+
+// TestPlanBinarySearch validates the verdict against a brute-force linear
+// scan: Plan's MinFleet must be the smallest fleet size whose SLO probe
+// passes, and the probes must all be recorded.
+func TestPlanBinarySearch(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// λ=8, μ=1: stability needs ≥ 9 servers. The exponential service time
+	// alone puts p95 ≈ 3.0 s (ln 20), so the achievable part of the SLO
+	// target is the queueing headroom above that.
+	spec.Workload.Cloudlets, spec.Workload.Warmup = 4000, 400
+	spec.Fleet.MinVMs, spec.Fleet.MaxVMs = 1, 24
+	spec.SLO = SLOSpec{Quantile: 0.95, TargetSeconds: 4}
+
+	v, err := Plan(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Sustainable {
+		t.Fatalf("24 VMs at λ=8 μ=1 should sustain p95 ≤ 4 s: %+v", v.Probes)
+	}
+	if len(v.Probes) == 0 || v.Probes[0].Fleet != spec.Fleet.MaxVMs {
+		t.Fatalf("first probe must bracket at max fleet: %+v", v.Probes)
+	}
+
+	smallest := 0
+	for fleet := spec.Fleet.MinVMs; fleet <= spec.Fleet.MaxVMs; fleet++ {
+		res, err := Run(spec, fleet, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SLOMet(spec) {
+			smallest = fleet
+			break
+		}
+	}
+	if smallest == 0 {
+		t.Fatal("linear scan found no passing fleet")
+	}
+	if v.MinFleet != smallest {
+		t.Fatalf("Plan MinFleet %d, linear scan %d", v.MinFleet, smallest)
+	}
+}
+
+// TestPlanUnsustainable checks the bracket short-circuit: when even the
+// max fleet misses the SLO, Plan reports unsustainable after one probe.
+func TestPlanUnsustainable(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workload.Cloudlets, spec.Workload.Warmup = 3000, 300
+	spec.Fleet.MinVMs, spec.Fleet.MaxVMs = 1, 4 // λ=8, μ=1: 4 servers can't
+	v, err := Plan(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Sustainable || v.MinFleet != 0 {
+		t.Fatalf("unsustainable spec judged sustainable: %+v", v)
+	}
+	if len(v.Probes) != 1 {
+		t.Fatalf("expected exactly the bracket probe, got %d", len(v.Probes))
+	}
+}
+
+// TestPlanElasticVerdict runs the elastic path end to end.
+func TestPlanElasticVerdict(t *testing.T) {
+	spec, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workload.Rate = 4
+	spec.Workload.Cloudlets, spec.Workload.Warmup = 4000, 400
+	spec.SLO = SLOSpec{Quantile: 0.95, TargetSeconds: 60}
+	spec.Fleet.MinVMs, spec.Fleet.MaxVMs = 1, 16
+	spec.Elastic = &ElasticSpec{ScaleUpLoad: 3, ScaleDownLoad: 0.5, Interval: 5}
+	v, err := Plan(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Elastic || len(v.Probes) != 1 {
+		t.Fatalf("elastic verdict shape wrong: %+v", v)
+	}
+	if v.Sustainable && v.MinFleet != v.Probes[0].PeakFleet {
+		t.Fatalf("elastic MinFleet %d != peak %d", v.MinFleet, v.Probes[0].PeakFleet)
+	}
+	if v.Probes[0].ScaleUps == 0 {
+		t.Fatal("elastic probe never scaled up from 1 VM at λ=4")
+	}
+}
+
+// TestReplayCommands pins the replay-line formats — they are user-facing
+// API printed into failure messages.
+func TestReplayCommands(t *testing.T) {
+	if got, want := ReplayCommand("specs/peak.json", 7, 12), "cloudsched plan replay -spec specs/peak.json -seed 7 -fleet 12"; got != want {
+		t.Fatalf("ReplayCommand = %q, want %q", got, want)
+	}
+	c := OracleCase{Rho: 0.9, Servers: 4, VMs: 4, N: 60000, Warmup: 10000, Mu: 1, Seed: 1, Tol: 0.15}
+	want := "cloudsched plan oracle -rho 0.9 -servers 4 -vms 4 -n 60000 -warmup 10000 -mu 1 -seed 1 -tol 0.15"
+	if got := c.ReplayCommand(); got != want {
+		t.Fatalf("OracleCase.ReplayCommand = %q, want %q", got, want)
+	}
+}
+
+// TestOracleCaseValidate covers the oracle guard rails.
+func TestOracleCaseValidate(t *testing.T) {
+	good := OracleCase{Rho: 0.5, Servers: 4, VMs: 2, N: 100, Warmup: 10, Mu: 1, Seed: 1, Tol: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid case rejected: %v", err)
+	}
+	bads := []OracleCase{
+		{Rho: 0, Servers: 1, VMs: 1, N: 100, Mu: 1, Tol: 0.1},
+		{Rho: 1, Servers: 1, VMs: 1, N: 100, Mu: 1, Tol: 0.1},
+		{Rho: math.NaN(), Servers: 1, VMs: 1, N: 100, Mu: 1, Tol: 0.1},
+		{Rho: 0.5, Servers: 3, VMs: 2, N: 100, Mu: 1, Tol: 0.1},
+		{Rho: 0.5, Servers: 0, VMs: 1, N: 100, Mu: 1, Tol: 0.1},
+		{Rho: 0.5, Servers: 1, VMs: 1, N: 0, Mu: 1, Tol: 0.1},
+		{Rho: 0.5, Servers: 1, VMs: 1, N: 100, Warmup: 100, Mu: 1, Tol: 0.1},
+		{Rho: 0.5, Servers: 1, VMs: 1, N: 100, Mu: 0, Tol: 0.1},
+		{Rho: 0.5, Servers: 1, VMs: 1, N: 100, Mu: 1, Tol: 0},
+		{Rho: 0.5, Servers: 1, VMs: 1, N: 100, Mu: math.Inf(1), Tol: 0.1},
+	}
+	for i, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad case %d accepted: %+v", i, c)
+		}
+	}
+	if _, err := (bads[0]).RunOracle(nil); err == nil {
+		t.Error("RunOracle on invalid case succeeded")
+	}
+}

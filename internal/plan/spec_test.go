@@ -1,0 +1,231 @@
+package plan
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// validSpecJSON is the baseline document the mutation tests below edit.
+const validSpecJSON = `{
+  "name": "checkout-peak",
+  "workload": {
+    "process": "poisson",
+    "rate": 8,
+    "cloudlets": 2000,
+    "warmup": 200,
+    "mean_length_mi": 1000
+  },
+  "fleet": {
+    "vm_mips": 1000,
+    "vm_pes": 1,
+    "min_vms": 1,
+    "max_vms": 32,
+    "dispatch": "queue"
+  },
+  "slo": {"quantile": 0.99, "target_seconds": 2.5},
+  "seed": 7
+}`
+
+func TestParseSpecValid(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Name != "checkout-peak" || s.Workload.Rate != 8 || s.Fleet.MaxVMs != 32 || s.Seed != 7 {
+		t.Fatalf("fields lost in parse: %+v", s)
+	}
+	if got := s.DispatchMode(); got != DispatchQueue {
+		t.Fatalf("DispatchMode = %q, want queue", got)
+	}
+	if mu := s.ServiceRate(); mu != 1 {
+		t.Fatalf("ServiceRate = %v, want 1", mu)
+	}
+	proc, err := s.Workload.Arrivals()
+	if err != nil || proc.Name() != "poisson" || proc.Rate() != 8 {
+		t.Fatalf("Arrivals: %v, %v", proc, err)
+	}
+}
+
+// mutate parses the valid document, applies edit to the generic tree, and
+// re-serializes — keeps each invalid case minimal and readable.
+func mutate(t *testing.T, edit func(m map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal([]byte(validSpecJSON), &m); err != nil {
+		t.Fatal(err)
+	}
+	edit(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the error
+	}{
+		{"not json", []byte("{"), "parsing spec"},
+		{"trailing document", []byte(validSpecJSON + `{"name":"x"}`), "trailing data"},
+		{"unknown field", []byte(strings.Replace(validSpecJSON, `"seed": 7`, `"sedd": 7`, 1)), "unknown field"},
+		{"empty name", mutate(t, func(m map[string]any) { m["name"] = "" }), "needs a name"},
+		{"unknown process", mutate(t, func(m map[string]any) {
+			m["workload"].(map[string]any)["process"] = "flat"
+		}), "unknown arrival process"},
+		{"zero rate", mutate(t, func(m map[string]any) {
+			m["workload"].(map[string]any)["rate"] = 0
+		}), "rate must be positive"},
+		{"negative cloudlets", mutate(t, func(m map[string]any) {
+			m["workload"].(map[string]any)["cloudlets"] = -1
+		}), "cloudlets must be positive"},
+		{"warmup too large", mutate(t, func(m map[string]any) {
+			m["workload"].(map[string]any)["warmup"] = 2000
+		}), "warmup"},
+		{"zero mean length", mutate(t, func(m map[string]any) {
+			m["workload"].(map[string]any)["mean_length_mi"] = 0
+		}), "mean_length_mi"},
+		{"zero mips", mutate(t, func(m map[string]any) {
+			m["fleet"].(map[string]any)["vm_mips"] = 0
+		}), "vm_mips"},
+		{"zero pes", mutate(t, func(m map[string]any) {
+			m["fleet"].(map[string]any)["vm_pes"] = 0
+		}), "vm_pes"},
+		{"zero min vms", mutate(t, func(m map[string]any) {
+			m["fleet"].(map[string]any)["min_vms"] = 0
+		}), "min_vms"},
+		{"max below min", mutate(t, func(m map[string]any) {
+			m["fleet"].(map[string]any)["max_vms"] = 0
+		}), "max_vms"},
+		{"bad dispatch", mutate(t, func(m map[string]any) {
+			m["fleet"].(map[string]any)["dispatch"] = "hash"
+		}), "dispatch"},
+		{"quantile zero", mutate(t, func(m map[string]any) {
+			m["slo"].(map[string]any)["quantile"] = 0
+		}), "quantile"},
+		{"quantile one", mutate(t, func(m map[string]any) {
+			m["slo"].(map[string]any)["quantile"] = 1
+		}), "quantile"},
+		{"zero slo target", mutate(t, func(m map[string]any) {
+			m["slo"].(map[string]any)["target_seconds"] = 0
+		}), "target_seconds"},
+		{"elastic bad interval", mutate(t, func(m map[string]any) {
+			m["elastic"] = map[string]any{"scale_up_load": 4, "scale_down_load": 1, "interval": 0}
+		}), "elastic.interval"},
+		{"elastic inverted thresholds", mutate(t, func(m map[string]any) {
+			m["elastic"] = map[string]any{"scale_up_load": 1, "scale_down_load": 4, "interval": 5}
+		}), "scale_up_load"},
+		{"elastic negative boot", mutate(t, func(m map[string]any) {
+			m["elastic"] = map[string]any{"scale_up_load": 4, "scale_down_load": 1, "interval": 5, "boot_delay": -1}
+		}), "boot_delay"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.data)
+			if err == nil {
+				t.Fatalf("accepted invalid spec %s", tc.data)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseSpecRejectsNonFinite pushes NaN/Inf through every float knob.
+// JSON cannot literally encode NaN/Inf, so raw documents use huge exponents
+// (1e999 decodes to an unmarshal error) and the Validate layer is exercised
+// directly for NaN.
+func TestParseSpecRejectsNonFinite(t *testing.T) {
+	if _, err := ParseSpec([]byte(strings.Replace(validSpecJSON, `"rate": 8`, `"rate": 1e999`, 1))); err == nil {
+		t.Fatal("accepted rate 1e999")
+	}
+	base, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{math.NaN(), math.Inf(1)} {
+		s := *base
+		s.Workload.Rate = bad
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate accepted rate %v", bad)
+		}
+		s = *base
+		s.SLO.TargetSeconds = bad
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate accepted slo target %v", bad)
+		}
+		s = *base
+		s.Workload.MeanLengthMI = bad
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate accepted mean length %v", bad)
+		}
+		s = *base
+		s.SLO.Quantile = bad
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate accepted quantile %v", bad)
+		}
+	}
+}
+
+func TestDispatchModeElasticForcesSpread(t *testing.T) {
+	s, err := ParseSpec([]byte(validSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Elastic = &ElasticSpec{ScaleUpLoad: 4, ScaleDownLoad: 1, Interval: 5}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("elastic spec invalid: %v", err)
+	}
+	if got := s.DispatchMode(); got != DispatchSpread {
+		t.Fatalf("elastic DispatchMode = %q, want spread", got)
+	}
+}
+
+func TestReadSpecMissingFile(t *testing.T) {
+	if _, err := ReadSpec(t.TempDir() + "/nope.json"); err == nil {
+		t.Fatal("ReadSpec on missing file succeeded")
+	}
+}
+
+// FuzzPlanSpec drives arbitrary bytes through the spec parser: it must
+// never panic, never accept a spec that fails Validate, and every accepted
+// spec must survive a marshal → reparse round trip (self-documenting specs
+// cannot depend on unserializable state).
+func FuzzPlanSpec(f *testing.F) {
+	f.Add([]byte(validSpecJSON))
+	f.Add([]byte(`{"name":"m","workload":{"process":"mmpp","rate_a":2,"rate_b":10,"sojourn_a":30,"sojourn_b":10,"cloudlets":100,"mean_length_mi":500},"fleet":{"vm_mips":2000,"vm_pes":2,"min_vms":1,"max_vms":4},"slo":{"quantile":0.95,"target_seconds":1},"seed":3}`))
+	f.Add([]byte(`{"name":"d","workload":{"process":"diurnal","base_rate":4,"amplitude":0.5,"period":300,"cloudlets":50,"mean_length_mi":100},"fleet":{"vm_mips":500,"vm_pes":1,"min_vms":2,"max_vms":2,"dispatch":"spread"},"slo":{"quantile":0.5,"target_seconds":10},"seed":1,"elastic":null}`))
+	f.Add([]byte(`{"name":"e","workload":{"process":"poisson","rate":1,"cloudlets":10,"mean_length_mi":1},"fleet":{"vm_mips":1,"vm_pes":1,"min_vms":1,"max_vms":8},"slo":{"quantile":0.99,"target_seconds":0.5},"seed":0,"elastic":{"scale_up_load":3,"scale_down_load":0.5,"interval":2,"boot_delay":1}}`))
+	f.Add([]byte(`{"workload":{"rate":null},"slo":{"quantile":1e999}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ParseSpec accepted a spec Validate rejects: %v", err)
+		}
+		if !finitePos(s.SLO.TargetSeconds) || s.SLO.Quantile <= 0 || s.SLO.Quantile >= 1 {
+			t.Fatalf("accepted unusable SLO %+v", s.SLO)
+		}
+		proc, err := s.Workload.Arrivals()
+		if err != nil {
+			t.Fatalf("accepted spec with unbuildable arrivals: %v", err)
+		}
+		if !finitePos(proc.Rate()) {
+			t.Fatalf("accepted process with unusable rate %v", proc.Rate())
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		if _, err := ParseSpec(out); err != nil {
+			t.Fatalf("round trip rejected: %v\n%s", err, out)
+		}
+	})
+}

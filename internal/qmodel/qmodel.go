@@ -109,6 +109,7 @@ func MMcResponse(lambda, mu float64, c int) (float64, error) {
 
 // RelativeError returns |observed−expected|/expected, guarding zero.
 func RelativeError(observed, expected float64) float64 {
+	//schedlint:ignore floateq exact-zero guard against division by zero on a caller-supplied expectation, not a computed sum
 	if expected == 0 {
 		return math.Abs(observed)
 	}

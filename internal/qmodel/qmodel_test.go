@@ -134,3 +134,35 @@ func TestRelativeError(t *testing.T) {
 		t.Fatalf("zero-expected guard: %v", RelativeError(5, 0))
 	}
 }
+
+// TestRelativeErrorEdges pins the corner cases the plan/check qmodel-oracle
+// band checks depend on: a zero expected value falls back to absolute
+// error (sign-insensitively), and NaN on either side must propagate — a
+// NaN comparison silently passing a `rel ≤ tol` band would make a broken
+// measurement look calibrated.
+func TestRelativeErrorEdges(t *testing.T) {
+	if got := RelativeError(0.25, 0); got != 0.25 {
+		t.Errorf("RelativeError(0.25, 0) = %v, want 0.25", got)
+	}
+	if got := RelativeError(-0.25, 0); got != 0.25 {
+		t.Errorf("RelativeError(-0.25, 0) = %v, want 0.25", got)
+	}
+	if got := RelativeError(0, 0); got != 0 {
+		t.Errorf("RelativeError(0, 0) = %v, want 0", got)
+	}
+	if got := RelativeError(math.NaN(), 1); !math.IsNaN(got) {
+		t.Errorf("RelativeError(NaN, 1) = %v, want NaN", got)
+	}
+	if got := RelativeError(1, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("RelativeError(1, NaN) = %v, want NaN", got)
+	}
+	if got := RelativeError(math.NaN(), 0); !math.IsNaN(got) {
+		t.Errorf("RelativeError(NaN, 0) = %v, want NaN", got)
+	}
+	// ±Inf expected: error is NaN only for Inf-Inf; an infinite expected
+	// with finite observation yields... |obs-∞|/∞ = NaN per IEEE — pin it
+	// so a future "improvement" cannot make Inf bands pass silently.
+	if got := RelativeError(1, math.Inf(1)); !math.IsNaN(got) {
+		t.Errorf("RelativeError(1, +Inf) = %v, want NaN", got)
+	}
+}

@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPoissonArrivalsGolden pins the exact draw sequence of PoissonArrivals
+// across the ArrivalProcess refactor: these values were captured from the
+// pre-interface implementation and must never change for a given
+// (n, rate, seed) — replay lines and committed scenario seeds depend on it.
+func TestPoissonArrivalsGolden(t *testing.T) {
+	cases := []struct {
+		n    int
+		rate float64
+		seed uint64
+		want []float64
+	}{
+		{n: 8, rate: 4, seed: 1, want: []float64{0.5025770943262151, 0.7077232164540996, 0.7114632507737487, 0.7381901564463134, 0.8380621846592831, 1.0423942886429995, 1.0993521068269119, 1.1155080365594452}},
+		{n: 5, rate: 0.5, seed: 42, want: []float64{0.46926831728200646, 5.040100563216322, 5.748168392414057, 6.042103486851668, 7.43463965101871}},
+		{n: 6, rate: 12.5, seed: 7, want: []float64{0.00638375063184191, 0.018742212585247064, 0.03765769984377746, 0.48793898268009556, 0.5492358215164107, 0.5691058762363145}},
+	}
+	for _, tc := range cases {
+		got, err := PoissonArrivals(tc.n, tc.rate, tc.seed)
+		if err != nil {
+			t.Fatalf("PoissonArrivals(%d, %v, %d): %v", tc.n, tc.rate, tc.seed, err)
+		}
+		if len(got) != len(tc.want) {
+			t.Fatalf("PoissonArrivals(%d, %v, %d): got %d offsets, want %d", tc.n, tc.rate, tc.seed, len(got), len(tc.want))
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("PoissonArrivals(%d, %v, %d)[%d] = %v, want %v (draw sequence changed)", tc.n, tc.rate, tc.seed, i, got[i], tc.want[i])
+			}
+		}
+		// The interface path must be the same function, not a parallel one.
+		viaIface, err := Poisson{Rate_: tc.rate}.Offsets(tc.n, tc.seed)
+		if err != nil {
+			t.Fatalf("Poisson.Offsets: %v", err)
+		}
+		for i := range viaIface {
+			if viaIface[i] != tc.want[i] {
+				t.Errorf("Poisson.Offsets diverges from PoissonArrivals at [%d]: %v vs %v", i, viaIface[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// testProcesses returns one configured instance of every arrival process,
+// chosen so each long-run Rate() is exactly 4 arrivals/s.
+func testProcesses(t *testing.T) []ArrivalProcess {
+	t.Helper()
+	pois, err := NewPoisson(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// πA = 30/(30+10) = 0.75 → rate = 0.75·2 + 0.25·10 = 4.
+	mmpp, err := NewMMPP(2, 10, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diur, err := NewDiurnal(4, 0.6, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []ArrivalProcess{pois, mmpp, diur}
+}
+
+// TestArrivalProcessProperties checks the interface contract for every
+// process: sorted, non-negative, deterministic per seed, seed-sensitive,
+// and rate-matched in expectation (mean interarrival within 5% of 1/Rate
+// over a long stream).
+func TestArrivalProcessProperties(t *testing.T) {
+	const n = 60000
+	for _, p := range testProcesses(t) {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			offs, err := p.Offsets(n, 12345)
+			if err != nil {
+				t.Fatalf("Offsets: %v", err)
+			}
+			if len(offs) != n {
+				t.Fatalf("got %d offsets, want %d", len(offs), n)
+			}
+			prev := 0.0
+			for i, v := range offs {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("offset[%d] = %v: not finite non-negative", i, v)
+				}
+				if v < prev {
+					t.Fatalf("offset[%d] = %v < offset[%d] = %v: not sorted", i, v, i-1, prev)
+				}
+				prev = v
+			}
+			again, err := p.Offsets(n, 12345)
+			if err != nil {
+				t.Fatalf("Offsets (repeat): %v", err)
+			}
+			for i := range offs {
+				if offs[i] != again[i] {
+					t.Fatalf("offset[%d] differs across identical calls: %v vs %v", i, offs[i], again[i])
+				}
+			}
+			other, err := p.Offsets(n, 54321)
+			if err != nil {
+				t.Fatalf("Offsets (other seed): %v", err)
+			}
+			same := true
+			for i := range offs {
+				if offs[i] != other[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("different seeds produced identical offsets")
+			}
+			// Rate match: n arrivals span offs[n-1] seconds, so the empirical
+			// rate is n/offs[n-1]; 60k samples put the Poisson case within
+			// ~1% and the modulated processes well inside 5%.
+			empirical := float64(n) / offs[n-1]
+			if rel := math.Abs(empirical-p.Rate()) / p.Rate(); rel > 0.05 {
+				t.Errorf("empirical rate %v vs declared %v: rel err %.3f > 0.05", empirical, p.Rate(), rel)
+			}
+			// n = 0 is a valid empty batch.
+			empty, err := p.Offsets(0, 1)
+			if err != nil || len(empty) != 0 {
+				t.Fatalf("Offsets(0): got %v, %v", empty, err)
+			}
+			if _, err := p.Offsets(-1, 1); err == nil {
+				t.Fatal("Offsets(-1) accepted")
+			}
+		})
+	}
+}
+
+// TestArrivalProcessValidate checks that every process rejects NaN/Inf and
+// non-positive parameters at construction — the same hardening bar as
+// workload.ReadTrace.
+func TestArrivalProcessValidate(t *testing.T) {
+	bads := []float64{0, -1, math.NaN(), math.Inf(1)}
+	for _, bad := range bads {
+		if _, err := NewPoisson(bad); err == nil {
+			t.Errorf("NewPoisson(%v) accepted", bad)
+		}
+		if _, err := NewMMPP(bad, 10, 30, 10); err == nil {
+			t.Errorf("NewMMPP(rateA=%v) accepted", bad)
+		}
+		if _, err := NewMMPP(2, bad, 30, 10); err == nil {
+			t.Errorf("NewMMPP(rateB=%v) accepted", bad)
+		}
+		if _, err := NewMMPP(2, 10, bad, 10); err == nil {
+			t.Errorf("NewMMPP(sojournA=%v) accepted", bad)
+		}
+		if _, err := NewMMPP(2, 10, 30, bad); err == nil {
+			t.Errorf("NewMMPP(sojournB=%v) accepted", bad)
+		}
+		if _, err := NewDiurnal(bad, 0.5, 50); err == nil {
+			t.Errorf("NewDiurnal(base=%v) accepted", bad)
+		}
+		if _, err := NewDiurnal(4, 0.5, bad); err == nil {
+			t.Errorf("NewDiurnal(period=%v) accepted", bad)
+		}
+	}
+	for _, amp := range []float64{-0.1, 1, 1.5, math.NaN(), math.Inf(1)} {
+		if _, err := NewDiurnal(4, amp, 50); err == nil {
+			t.Errorf("NewDiurnal(amplitude=%v) accepted", amp)
+		}
+	}
+	if _, err := NewDiurnal(4, 0, 50); err != nil {
+		t.Errorf("NewDiurnal(amplitude=0) rejected: %v", err)
+	}
+	// Negative zero rate must be rejected too (historic PoissonArrivals bar).
+	if _, err := PoissonArrivals(3, math.Copysign(0, -1), 1); err == nil {
+		t.Error("PoissonArrivals(rate=-0) accepted")
+	}
+	// NaN rate slipped past the old `rate <= 0` guard; the interface closes it.
+	if _, err := PoissonArrivals(3, math.NaN(), 1); err == nil {
+		t.Error("PoissonArrivals(rate=NaN) accepted")
+	}
+	if _, err := PoissonArrivals(3, math.Inf(1), 1); err == nil {
+		t.Error("PoissonArrivals(rate=+Inf) accepted")
+	}
+}
+
+// TestMMPPBurstiness checks that MMPP actually modulates: the variance of
+// per-window arrival counts must exceed the Poisson index of dispersion
+// (variance/mean ≈ 1), otherwise the two-state machinery is not switching.
+func TestMMPPBurstiness(t *testing.T) {
+	mmpp, err := NewMMPP(2, 10, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	offs, err := mmpp.Offsets(n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count arrivals in 10 s windows (shorter than the sojourn scale so
+	// windows land inside bursts).
+	window := 10.0
+	counts := make(map[int]int)
+	maxW := 0
+	for _, v := range offs {
+		w := int(v / window)
+		counts[w]++
+		if w > maxW {
+			maxW = w
+		}
+	}
+	var mean, m2 float64
+	for w := 0; w <= maxW; w++ {
+		mean += float64(counts[w])
+	}
+	mean /= float64(maxW + 1)
+	for w := 0; w <= maxW; w++ {
+		d := float64(counts[w]) - mean
+		m2 += d * d
+	}
+	variance := m2 / float64(maxW+1)
+	if iod := variance / mean; iod < 1.5 {
+		t.Errorf("index of dispersion %.2f < 1.5: MMPP stream is not bursty", iod)
+	}
+}
+
+// TestDiurnalModulation checks that the diurnal intensity actually follows
+// the sine: arrivals counted over the high half-cycles of the period must
+// exceed those over the low half-cycles by a margin tied to the amplitude.
+func TestDiurnalModulation(t *testing.T) {
+	diur, err := NewDiurnal(4, 0.8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	offs, err := diur.Offsets(n, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var high, low int
+	for _, v := range offs {
+		phase := math.Mod(v, 100) / 100
+		if phase < 0.5 { // sin positive: high half-cycle
+			high++
+		} else {
+			low++
+		}
+	}
+	// With amplitude 0.8 the half-cycle means are base·(1±2·0.8/π), a
+	// ~3:1 ratio; require at least 2:1 to stay far from flakiness.
+	if high < 2*low {
+		t.Errorf("high half-cycle count %d not ≥ 2× low half-cycle count %d: no modulation", high, low)
+	}
+}

@@ -183,8 +183,16 @@ func Split(entries []TraceEntry) ([]*cloud.Cloudlet, []float64) {
 // SyntheticTrace renders a generated scenario as trace entries with Poisson
 // arrivals — handy for producing example trace files.
 func SyntheticTrace(spec CloudletSpec, n int, rate float64, seed uint64) ([]TraceEntry, error) {
+	return SyntheticTraceFrom(spec, n, Poisson{Rate_: rate}, seed)
+}
+
+// SyntheticTraceFrom is SyntheticTrace with an explicit arrival process:
+// cloudlet bodies are generated exactly as before, and arrival offsets come
+// from proc's own stream, so the poisson case is bit-identical to the
+// historical SyntheticTrace.
+func SyntheticTraceFrom(spec CloudletSpec, n int, proc ArrivalProcess, seed uint64) ([]TraceEntry, error) {
 	cls := GenerateCloudlets(spec, n, seed)
-	arrivals, err := PoissonArrivals(n, rate, seed)
+	arrivals, err := proc.Offsets(n, seed)
 	if err != nil {
 		return nil, err
 	}

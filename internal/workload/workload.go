@@ -215,28 +215,6 @@ func AssignDeadlines(cloudlets []*cloud.Cloudlet, vms []*cloud.VM, slack float64
 	return nil
 }
 
-// PoissonArrivals draws n arrival offsets (seconds from batch start) from a
-// Poisson process with the given rate (arrivals per second), sorted
-// ascending, using stream (seed, 5). It models the dynamic demand of §I
-// ("the demands for resources change dynamically") as an extension to the
-// paper's batch-at-zero submission.
-func PoissonArrivals(n int, rate float64, seed uint64) ([]float64, error) {
-	if n < 0 {
-		return nil, fmt.Errorf("workload: negative arrival count %d", n)
-	}
-	if rate <= 0 {
-		return nil, fmt.Errorf("workload: arrival rate must be positive, got %v", rate)
-	}
-	r := xrand.New(seed, 5)
-	out := make([]float64, n)
-	t := 0.0
-	for i := range out {
-		t += r.ExpFloat64() / rate
-		out[i] = t
-	}
-	return out, nil
-}
-
 // Scenario is a fully materialized experiment input.
 type Scenario struct {
 	Name      string

@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Record BENCH_plan.json: capacity-planning run throughput (cloudlets/s,
+# DES events/s) of internal/plan's engine under both dispatch modes at
+# 1k and 100k cloudlets, rho=0.7 on an 8-VM fleet. Best-of-3 per
+# measurement; see cmd/planbench for the caveats embedded in the record
+# (the DES kernel is serial — these are per-core numbers).
+#
+# Usage: scripts/bench_plan.sh [output.json] [sizes]
+set -eu
+
+out="${1:-BENCH_plan.json}"
+sizes="${2:-1000,100000}"
+
+go run ./cmd/planbench -sizes "$sizes" -out "$out"

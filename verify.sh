@@ -5,13 +5,16 @@
 # registered scheduler — including the worker-invariance suite for the
 # parallel mapping kernels, the shard-count invariance of the merged
 # Eq. 12/13 metrics, and the kernel invariance of the vectorized objective
-# kernels against their scalar reference — a full-module race pass plus
+# kernels against their scalar reference and the qmodel-oracle gate
+# (capacity-planning engine vs analytic M/M/1 and M/M/c mean waits within
+# documented bands, both seeded plants caught) — a full-module race pass plus
 # explicit race gates for the parallel kernels (aco/hbo/rbs/ga/objective)
 # and the sharded daemon (internal/service at 2/4 shards), and a short fuzz
 # smoke over the untrusted-input boundaries (the daemon's JSON submit
 # decoder, the CSV workload trace parser, the columnar binary trace
-# reader/converter, schedlint's suppression-directive parser, and the
-# vectorized-vs-scalar kernel differential).
+# reader/converter, schedlint's suppression-directive parser, the
+# vectorized-vs-scalar kernel differential, and the capacity-plan spec
+# parser).
 #
 # schedlint runs with the committed baseline (.schedlint.baseline.json):
 # findings recorded there are tolerated while being burned down; anything
@@ -98,6 +101,17 @@ go test -run 'TestShardInvariance' ./internal/check
 # the seeded broken-SearchCum plant must be caught through the full
 # schedcheck pipeline (shrink + replay line included).
 go test -run 'TestKernelInvariance' ./internal/check
+
+# qmodel oracle, explicit: the capacity-planning engine's simulated mean
+# wait must agree with the analytic M/M/1 and M/M/c oracles at
+# rho in {0.3, 0.6, 0.9} within the documented bands (10% below saturation,
+# 15% at rho=0.9), every post-warmup completion must be recorded, and both
+# seeded plants (biased arrival generator, sample-dropping recorder) must
+# be caught with a runnable `cloudsched plan oracle` replay line.
+go test -run 'TestQModelOracle' ./internal/check
+# The same sweep through internal/plan's own differential table, plus the
+# fleet-shape invariance (c 1-PE VMs vs one c-PE VM, bit-identical).
+go test -run 'TestQModelDifferential|TestCentralQueueFleetShapeInvariant' ./internal/plan
 # The objective/aco/metrics layers must pass with the kernel dispatch
 # forced to the scalar reference — the same knob the CI matrix leg and
 # scripts/bench_objective.sh use.
@@ -124,5 +138,10 @@ go test -run='^$' -fuzz=FuzzSuppressDirective -fuzztime=5s ./internal/lint
 # denormals, ±Inf, lane-tail lengths) through every vectorized kernel must
 # match the scalar reference bit for bit (any-NaN matches any-NaN).
 go test -run='^$' -fuzz=FuzzKernelVsReference -fuzztime=5s ./internal/objective/kernel
+# Capacity-plan spec boundary: arbitrary JSON through plan.ParseSpec never
+# panics, and every accepted spec validates, builds its arrival process,
+# and survives a marshal→reparse round trip (NaN/Inf rates and bogus SLO
+# targets must be rejected, never half-configured).
+go test -run='^$' -fuzz=FuzzPlanSpec -fuzztime=5s ./internal/plan
 
 bench_smoke
